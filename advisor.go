@@ -1,0 +1,64 @@
+package hybridlsh
+
+import (
+	"repro/internal/lsh"
+)
+
+// AdvisorInput describes a parameter-tuning problem: dataset size, the
+// family's collision probability at the target radius and at a typical
+// background distance, and the recall/cost budgets. See lsh.AdvisorInput
+// for field semantics.
+type AdvisorInput = lsh.AdvisorInput
+
+// Advice is one recommended (k, L) configuration with its predicted miss
+// probability and query cost.
+type Advice = lsh.Advice
+
+// Advise recommends (k, L) for a given workload, automating the tuning
+// the paper calls "a tedious process": it scans table counts, solves the
+// paper's k(L) formula for each, and scores candidates with the cost
+// model. The hybrid index makes a bad parameter choice survivable; Advise
+// makes a good one cheap to find.
+//
+// Collision probabilities for the input come from the family matching
+// your metric; the P1 helpers below compute them:
+//
+//	in := hybridlsh.AdvisorInput{
+//	    N:           len(points),
+//	    P1:          hybridlsh.P1Hamming(64, 8),    // d = 64 bits, r = 8
+//	    PBackground: hybridlsh.P1Hamming(64, 28),   // typical pair distance
+//	}
+//	best, ranked, err := hybridlsh.Advise(in)
+func Advise(in AdvisorInput) (best Advice, ranked []Advice, err error) {
+	return lsh.Advise(in)
+}
+
+// P1Hamming returns the bit-sampling collision probability at Hamming
+// distance dist in d-bit space: 1 − dist/d.
+func P1Hamming(d int, dist float64) float64 {
+	return lsh.NewBitSampling(d).CollisionProb(dist)
+}
+
+// P1Cosine returns the SimHash collision probability at cosine distance
+// dist: 1 − arccos(1−dist)/π.
+func P1Cosine(dist float64) float64 {
+	return lsh.NewSimHashCosine(1).CollisionProb(dist)
+}
+
+// P1L1 returns the 1-stable (Cauchy) collision probability at L1 distance
+// dist with slot width w.
+func P1L1(w, dist float64) float64 {
+	return lsh.NewPStableL1(1, w).CollisionProb(dist)
+}
+
+// P1L2 returns the 2-stable (Gaussian) collision probability at L2
+// distance dist with slot width w.
+func P1L2(w, dist float64) float64 {
+	return lsh.NewPStableL2(1, w).CollisionProb(dist)
+}
+
+// P1Jaccard returns the MinHash collision probability at Jaccard distance
+// dist: 1 − dist.
+func P1Jaccard(dist float64) float64 {
+	return lsh.NewMinHash(1).CollisionProb(dist)
+}

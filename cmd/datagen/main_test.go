@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.002, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"corel", "covertype", "webspam", "mnist"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".gob")); err != nil {
+			t.Errorf("%s.gob missing: %v", name, err)
+		}
+	}
+	// Round-trip one of them.
+	var ds dataset.BinarySet
+	if err := dataset.LoadGob(filepath.Join(dir, "mnist.gob"), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Meta.Name != "mnist-like" || len(ds.Points) == 0 {
+		t.Fatalf("bad round trip: %+v", ds.Meta)
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.002, 1, "corel"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "corel.gob" {
+		t.Fatalf("only=corel wrote %v", entries)
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", 0.002, 1, "corel"); err == nil {
+		t.Fatal("expected error for unwritable directory")
+	}
+}

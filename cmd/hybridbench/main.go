@@ -1,0 +1,155 @@
+// Command hybridbench regenerates every table and figure of the paper's
+// evaluation (Section 4) on the synthetic dataset substitutes:
+//
+//	hybridbench -exp table1            # Table 1: HLL cost and error
+//	hybridbench -exp fig2a             # Figure 2a: MNIST, Hamming
+//	hybridbench -exp fig2b             # Figure 2b: Webspam, cosine
+//	hybridbench -exp fig2c             # Figure 2c: CoverType, L1
+//	hybridbench -exp fig2d             # Figure 2d: Corel, L2
+//	hybridbench -exp fig3              # Figure 3: Webspam output sizes & LS%
+//	hybridbench -exp all               # everything
+//
+// The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
+// full run finishes in minutes; use -scale 1 for paper scale). -paperratio
+// replaces the calibrated cost model with the paper's per-dataset β/α
+// ratios (10, 10, 6, 1), which reproduces the Figure-3 strategy-decision
+// shape exactly; by default β/α is measured on this machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, all")
+		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
+		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
+		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
+		seed       = flag.Uint64("seed", 1, "generation/construction seed")
+		paperRatio = flag.Bool("paperratio", false, "use the paper's fixed β/α ratios instead of calibrating")
+		csvDir     = flag.String("csv", "", "also write results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig(*scale)
+	cfg.Queries = *queries
+	cfg.Runs = *runs
+	cfg.Seed = *seed
+	cfg.Calibrate = !*paperRatio
+
+	if err := run(*exp, cfg, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg bench.Config, csvDir string) error {
+	switch exp {
+	case "table1":
+		return table1(cfg, csvDir)
+	case "fig2a":
+		return fig2(cfg, csvDir, bench.MNISTExperiment, "fig2a", "Figure 2a — MNIST-like, Hamming distance")
+	case "fig2b":
+		return fig2(cfg, csvDir, bench.WebspamExperiment, "fig2b", "Figure 2b — Webspam-like, cosine distance")
+	case "fig2c":
+		return fig2(cfg, csvDir, bench.CoverTypeExperiment, "fig2c", "Figure 2c — CoverType-like, L1 distance")
+	case "fig2d":
+		return fig2(cfg, csvDir, bench.CorelExperiment, "fig2d", "Figure 2d — Corel-like, L2 distance")
+	case "fig3":
+		return fig3(cfg, csvDir)
+	case "all":
+		if err := table1(cfg, csvDir); err != nil {
+			return err
+		}
+		for _, e := range []struct {
+			run   func(bench.Config) (*bench.Fig2Result, error)
+			id    string
+			title string
+		}{
+			{bench.MNISTExperiment, "fig2a", "Figure 2a — MNIST-like, Hamming distance"},
+			{bench.WebspamExperiment, "fig2b", "Figure 2b — Webspam-like, cosine distance"},
+			{bench.CoverTypeExperiment, "fig2c", "Figure 2c — CoverType-like, L1 distance"},
+			{bench.CorelExperiment, "fig2d", "Figure 2d — Corel-like, L2 distance"},
+		} {
+			if err := fig2(cfg, csvDir, e.run, e.id, e.title); err != nil {
+				return err
+			}
+		}
+		return fig3(cfg, csvDir)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func table1(cfg bench.Config, csvDir string) error {
+	rows, err := bench.Table1Experiment(cfg)
+	if err != nil {
+		return err
+	}
+	bench.PrintTable1(os.Stdout, rows)
+	fmt.Println()
+	if csvDir == "" {
+		return nil
+	}
+	return writeCSV(csvDir, "table1.csv", func(w io.Writer) error {
+		return bench.WriteTable1CSV(w, rows)
+	})
+}
+
+func fig2(cfg bench.Config, csvDir string, f func(bench.Config) (*bench.Fig2Result, error), id, title string) error {
+	res, err := f(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	bench.PrintFig2(os.Stdout, res)
+	fmt.Println()
+	if csvDir == "" {
+		return nil
+	}
+	return writeCSV(csvDir, id+".csv", func(w io.Writer) error {
+		return bench.WriteFig2CSV(w, res)
+	})
+}
+
+func fig3(cfg bench.Config, csvDir string) error {
+	// Figure 3 is about the strategy decision; the paper's fixed β/α = 10
+	// reproduces its shape regardless of this machine's constants.
+	cfg.Calibrate = false
+	res, err := bench.WebspamExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3 — Webspam-like output sizes and linear-search calls (β/α = 10, the paper's choice)")
+	bench.PrintFig3(os.Stdout, res)
+	fmt.Println()
+	if csvDir == "" {
+		return nil
+	}
+	return writeCSV(csvDir, "fig3.csv", func(w io.Writer) error {
+		return bench.WriteFig2CSV(w, res)
+	})
+}
+
+// writeCSV creates dir/name and streams the writer callback into it.
+func writeCSV(dir, name string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func tinyCfg() bench.Config {
+	cfg := bench.DefaultConfig(0.005)
+	cfg.Queries = 5
+	cfg.Runs = 1
+	return cfg
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", tinyCfg(), ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	for _, exp := range []string{"fig2a", "fig2d", "fig3"} {
+		if err := run(exp, tinyCfg(), t.TempDir()); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	if err := run("table1", tinyCfg(), t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package hybridlsh_test
+
+import (
+	"fmt"
+
+	hybridlsh "repro"
+)
+
+// ExampleNewL2Index builds an index over a tiny point set and reports the
+// r-near neighbors of a query.
+func ExampleNewL2Index() {
+	points := []hybridlsh.Dense{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // a tight corner cluster
+		{5, 5}, {9, 9}, // far away
+	}
+	index, err := hybridlsh.NewL2Index(points, 0.5, hybridlsh.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	ids, _ := index.Query(hybridlsh.Dense{0.05, 0.05})
+	fmt.Println(len(ids), "neighbors within 0.5")
+	// Output: 3 neighbors within 0.5
+}
+
+// ExampleNewHammingIndex uses bit-packed binary fingerprints.
+func ExampleNewHammingIndex() {
+	fingerprints := make([]hybridlsh.Binary, 4)
+	for i := range fingerprints {
+		fingerprints[i] = hybridlsh.NewBinaryVector(64)
+	}
+	fingerprints[1].SetBit(3, true) // distance 1 from #0
+	fingerprints[2].SetBit(3, true) // same as #1
+	for b := 0; b < 40; b += 2 {
+		fingerprints[3].SetBit(b, true) // distance 20 from #0
+	}
+	index, err := hybridlsh.NewHammingIndex(fingerprints, 2, hybridlsh.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	ids, _ := index.Query(fingerprints[0])
+	fmt.Println(len(ids), "fingerprints within Hamming distance 2")
+	// Output: 3 fingerprints within Hamming distance 2
+}
+
+// ExampleCostModel shows the decision rule of Algorithm 2 directly.
+func ExampleCostModel() {
+	cm := hybridlsh.CostModel{Alpha: 1, Beta: 10} // the paper's Webspam ratio
+	n := 350000
+	// An easy query: few collisions, few candidates.
+	fmt.Println("easy query prefers LSH:  ", cm.LSHCost(5000, 900) < cm.LinearCost(n))
+	// A hard query in a giant near-duplicate cluster.
+	fmt.Println("hard query prefers linear:", cm.LSHCost(8000000, 170000) >= cm.LinearCost(n))
+	// Output:
+	// easy query prefers LSH:   true
+	// hard query prefers linear: true
+}
+
+// ExampleAdvise tunes (k, L) automatically for a Hamming workload.
+func ExampleAdvise() {
+	best, _, err := hybridlsh.Advise(hybridlsh.AdvisorInput{
+		N:           100000,
+		P1:          hybridlsh.P1Hamming(64, 8),  // neighbors at distance 8
+		PBackground: hybridlsh.P1Hamming(64, 30), // typical pairs at 30
+		Delta:       0.1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("miss probability within budget:", best.MissProb <= 0.2)
+	fmt.Println("k and L positive:", best.K >= 1 && best.L >= 1)
+	// Output:
+	// miss probability within budget: true
+	// k and L positive: true
+}
+
+// ExampleLadder serves arbitrary radii from one structure.
+func ExampleLadder() {
+	points := []hybridlsh.Dense{{0, 0}, {0.3, 0}, {0.9, 0}, {8, 8}}
+	ladder, err := hybridlsh.NewL2Ladder(points, 0.25, 1.0, 2.0, hybridlsh.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	q := hybridlsh.Dense{0, 0}
+	for _, r := range []float64{0.25, 0.5, 1.0} {
+		ids, _, err := ladder.Query(q, r)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("r=%.2f: %d neighbors\n", r, len(ids))
+	}
+	// Output:
+	// r=0.25: 1 neighbors
+	// r=0.50: 2 neighbors
+	// r=1.00: 3 neighbors
+}

@@ -1,0 +1,208 @@
+// Package bench is the experiment harness behind every table and figure of
+// the paper: it runs the three search strategies (hybrid, pure LSH, linear)
+// over a query set and aggregates the timings, recalls, output sizes and
+// strategy decisions that Sections 4.1 and 4.2 report. Both the root
+// bench_test.go benchmarks and cmd/hybridbench print from these results.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/stats"
+)
+
+// Fig2Row is one x-axis point of a Figure-2 panel (plus the Figure-3
+// series, which come from the same sweep on Webspam).
+type Fig2Row struct {
+	Radius float64
+	// Mean CPU seconds over the query set, per strategy (the paper's
+	// y-axis is total seconds for the 100-query set; Seconds* here are
+	// per-set too, for direct comparison), averaged over the configured
+	// runs — the paper reports "the average of 5 runs".
+	HybridSec, LSHSec, LinearSec float64
+	// Per-run standard deviations of the set times (0 for a single run).
+	HybridStdSec, LSHStdSec, LinearStdSec float64
+	// Mean recall vs exact ground truth.
+	HybridRecall, LSHRecall float64
+	// LSCallsPct is the percentage of hybrid queries that chose linear
+	// search (Figure 3 right).
+	LSCallsPct float64
+	// Output-size statistics over the query set (Figure 3 left).
+	OutAvg, OutMax, OutMin int
+	// Estimation diagnostics: mean relative candSize error and the mean
+	// share of query time spent estimating (Table 1 inputs).
+	EstErrPct, EstCostPct float64
+}
+
+// Fig2Result is a whole panel: one dataset, several radii.
+type Fig2Result struct {
+	Dataset       string
+	N             int
+	Metric        string
+	BetaOverAlpha float64
+	Rows          []Fig2Row
+}
+
+// IndexBuilder constructs the per-radius index of a sweep (k and w depend
+// on r, so Figure 2 builds one index per x-axis point).
+type IndexBuilder[P any] func(radius float64) (*core.Index[P], error)
+
+// RunSweep executes the Figure-2 protocol on one dataset: for each radius,
+// build the index, answer every query with all three strategies over the
+// requested number of runs (the paper uses 5), and aggregate. dist is used
+// for exact ground truth (the linear path's output doubles as truth since
+// it is exact).
+func RunSweep[P any](name, metric string, data, queries []P, radii []float64,
+	build IndexBuilder[P], dist distance.Func[P], runs int) (*Fig2Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("bench: empty query set")
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	res := &Fig2Result{Dataset: name, N: len(data), Metric: metric}
+	for _, r := range radii {
+		ix, err := build(r)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s index at r=%v: %w", name, r, err)
+		}
+		res.BetaOverAlpha = ix.Cost().BetaOverAlpha()
+		// Warm caches and the query-state pool before timing, and start
+		// each radius from a clean heap so GC pauses from index
+		// construction are not charged to the first queries.
+		runtime.GC()
+		for i := 0; i < len(queries) && i < 5; i++ {
+			ix.Query(queries[i])
+			ix.QueryLSH(queries[i])
+			ix.QueryLinear(queries[i])
+		}
+		row := Fig2Row{Radius: r, OutMin: math.MaxInt}
+		var hybT, lshT, linT stats.Stream
+		var estErrSum float64
+		var estErrCount int
+		outSum := 0
+		for run := 0; run < runs; run++ {
+			var hybSet, lshSet, linSet float64
+			for _, q := range queries {
+				truth, linStats := ix.QueryLinear(q)
+				linSet += linStats.TotalTime().Seconds()
+
+				lshOut, lshStats := ix.QueryLSH(q)
+				lshSet += lshStats.TotalTime().Seconds()
+
+				hybOut, hybStats := ix.Query(q)
+				hybSet += hybStats.TotalTime().Seconds()
+
+				if run > 0 {
+					continue // recall, decisions and outputs are run-invariant
+				}
+				row.LSHRecall += core.Recall(lshOut, truth)
+				row.HybridRecall += core.Recall(hybOut, truth)
+				if hybStats.Strategy == core.StrategyLinear {
+					row.LSCallsPct++
+				}
+				// Table-1 diagnostics measure the full O(m·L) merge (the
+				// production path may short-circuit it). candSize truth
+				// is the distinct candidate count of the pure LSH walk
+				// over the same buckets.
+				_, est, estDur := ix.EstimateCandSize(q)
+				if denom := estDur.Seconds() + hybStats.SearchTime.Seconds(); denom > 0 {
+					row.EstCostPct += estDur.Seconds() / denom
+				}
+				if lshStats.Candidates > 0 {
+					estErrSum += math.Abs(est-float64(lshStats.Candidates)) / float64(lshStats.Candidates)
+					estErrCount++
+				}
+
+				out := len(truth)
+				outSum += out
+				if out > row.OutMax {
+					row.OutMax = out
+				}
+				if out < row.OutMin {
+					row.OutMin = out
+				}
+			}
+			hybT.Add(hybSet)
+			lshT.Add(lshSet)
+			linT.Add(linSet)
+		}
+		row.HybridSec, row.HybridStdSec = hybT.Mean(), hybT.Std()
+		row.LSHSec, row.LSHStdSec = lshT.Mean(), lshT.Std()
+		row.LinearSec, row.LinearStdSec = linT.Mean(), linT.Std()
+		nq := float64(len(queries))
+		row.HybridRecall /= nq
+		row.LSHRecall /= nq
+		row.LSCallsPct = 100 * row.LSCallsPct / nq
+		row.EstCostPct = 100 * row.EstCostPct / nq
+		if estErrCount > 0 {
+			row.EstErrPct = 100 * estErrSum / float64(estErrCount)
+		}
+		row.OutAvg = outSum / len(queries)
+		if row.OutMin == math.MaxInt {
+			row.OutMin = 0
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table1Row is one dataset column of Table 1.
+type Table1Row struct {
+	Dataset string
+	// CostPct is the HLL estimation share of total hybrid query time
+	// (the paper's "% Cost"), averaged over radii and queries.
+	CostPct float64
+	// ErrPct is the mean relative error of the candSize estimate (the
+	// paper's "% Error").
+	ErrPct float64
+	// BetaOverAlpha is the calibrated cost ratio used.
+	BetaOverAlpha float64
+}
+
+// Table1FromSweep condenses a sweep (run on the small-radius regime where
+// LSH beats linear, per Section 4.1) into the dataset's Table-1 column.
+func Table1FromSweep(res *Fig2Result) Table1Row {
+	row := Table1Row{Dataset: res.Dataset, BetaOverAlpha: res.BetaOverAlpha}
+	if len(res.Rows) == 0 {
+		return row
+	}
+	for _, r := range res.Rows {
+		row.CostPct += r.EstCostPct
+		row.ErrPct += r.EstErrPct
+	}
+	row.CostPct /= float64(len(res.Rows))
+	row.ErrPct /= float64(len(res.Rows))
+	return row
+}
+
+// CheckShape verifies the qualitative claims of Figure 2 on a sweep — the
+// reproduction's acceptance criteria:
+//
+//  1. hybrid is never much slower than the best single strategy at any
+//     radius (within slack ×, default 1.35: decision overhead + noise);
+//  2. hybrid recall ≥ LSH recall − ε (linear fallbacks are exact).
+//
+// It returns a list of violations (empty = shape holds).
+func CheckShape(res *Fig2Result, slack float64) []string {
+	var bad []string
+	if slack <= 0 {
+		slack = 1.35
+	}
+	for _, row := range res.Rows {
+		best := math.Min(row.LSHSec, row.LinearSec)
+		if row.HybridSec > best*slack {
+			bad = append(bad, fmt.Sprintf("%s r=%v: hybrid %.4fs exceeds best %.4fs × %.2f",
+				res.Dataset, row.Radius, row.HybridSec, best, slack))
+		}
+		if row.HybridRecall < row.LSHRecall-0.02 {
+			bad = append(bad, fmt.Sprintf("%s r=%v: hybrid recall %.3f below LSH %.3f",
+				res.Dataset, row.Radius, row.HybridRecall, row.LSHRecall))
+		}
+	}
+	return bad
+}

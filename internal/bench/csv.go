@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFig2CSV writes a Figure-2 sweep as CSV (one row per radius) with
+// mean and standard-deviation columns for each strategy, suitable for
+// re-plotting the paper's figures with any plotting tool.
+func WriteFig2CSV(w io.Writer, res *Fig2Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"dataset", "metric", "n", "beta_over_alpha", "radius",
+		"hybrid_sec", "hybrid_std", "lsh_sec", "lsh_std", "linear_sec", "linear_std",
+		"hybrid_recall", "lsh_recall", "ls_calls_pct",
+		"out_avg", "out_max", "out_min", "est_err_pct", "est_cost_pct",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("bench: writing CSV header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range res.Rows {
+		rec := []string{
+			res.Dataset, res.Metric, strconv.Itoa(res.N), f(res.BetaOverAlpha), f(r.Radius),
+			f(r.HybridSec), f(r.HybridStdSec), f(r.LSHSec), f(r.LSHStdSec), f(r.LinearSec), f(r.LinearStdSec),
+			f(r.HybridRecall), f(r.LSHRecall), f(r.LSCallsPct),
+			strconv.Itoa(r.OutAvg), strconv.Itoa(r.OutMax), strconv.Itoa(r.OutMin),
+			f(r.EstErrPct), f(r.EstCostPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable1CSV writes Table-1 rows as CSV.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "cost_pct", "err_pct", "beta_over_alpha"}); err != nil {
+		return fmt.Errorf("bench: writing CSV header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Dataset, f(r.CostPct), f(r.ErrPct), f(r.BetaOverAlpha)}); err != nil {
+			return fmt.Errorf("bench: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+func TestAppendFindsNewPoints(t *testing.T) {
+	w := makeWorkload(500, 100, 64, 2, 71)
+	ix := buildIndex(t, w, 10)
+
+	// New points: a fresh tight cluster around a new center.
+	r := rng.New(72)
+	center := vector.NewBinary(64)
+	for j := 0; j < 64; j++ {
+		center.SetBit(j, r.Float64() < 0.5)
+	}
+	extra := make([]vector.Binary, 80)
+	for i := range extra {
+		p := center.Clone()
+		for _, b := range r.Sample(64, r.Intn(3)) {
+			p.FlipBit(b)
+		}
+		extra[i] = p
+	}
+	if err := ix.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if ix.N() != 580 {
+		t.Fatalf("N = %d after append, want 580", ix.N())
+	}
+
+	// Query at the new center: appended points must be reported.
+	out, _ := ix.Query(center)
+	truth := GroundTruth(append(w.points, extra...), distance.Hamming, center, 10)
+	if len(truth) < 80 {
+		t.Fatalf("ground truth %d too small; workload broken", len(truth))
+	}
+	if rec := Recall(out, truth); rec < 0.85 {
+		t.Fatalf("recall over appended points = %v", rec)
+	}
+	// Ids ≥ 500 (the appended range) must appear.
+	sawNew := false
+	for _, id := range out {
+		if id >= 500 {
+			sawNew = true
+			break
+		}
+	}
+	if !sawNew {
+		t.Fatal("no appended id reported")
+	}
+}
+
+func TestAppendMaintainsSketches(t *testing.T) {
+	// Start with a tiny cluster (buckets below the HLL threshold), then
+	// append enough near-duplicates to push buckets across it: sketches
+	// must appear and the candSize estimate must track the true count.
+	w := makeWorkload(300, 20, 64, 1, 73)
+	ix := buildIndex(t, w, 10)
+	before := ix.Tables().Stats().SketchedBuckets
+
+	r := rng.New(74)
+	extra := make([]vector.Binary, 400)
+	for i := range extra {
+		p := w.center.Clone()
+		if r.Float64() < 0.5 {
+			p.FlipBit(r.Intn(64))
+		}
+		extra[i] = p
+	}
+	if err := ix.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	after := ix.Tables().Stats().SketchedBuckets
+	if after <= before {
+		t.Fatalf("no sketches created by threshold crossing: %d -> %d", before, after)
+	}
+
+	_, est, _ := ix.EstimateCandSize(w.center)
+	_, lshStats := ix.QueryLSH(w.center)
+	truth := float64(lshStats.Candidates)
+	if truth < 300 {
+		t.Fatalf("appended cluster not colliding (candidates %v)", truth)
+	}
+	if rel := (est - truth) / truth; rel < -0.3 || rel > 0.3 {
+		t.Fatalf("post-append estimate %v vs truth %v", est, truth)
+	}
+}
+
+func TestAppendEmptyAndOverflowGuards(t *testing.T) {
+	w := makeWorkload(100, 10, 64, 1, 75)
+	ix := buildIndex(t, w, 10)
+	if err := ix.Append(nil); err != nil {
+		t.Fatalf("empty append errored: %v", err)
+	}
+	if ix.N() != 100 {
+		t.Fatal("empty append changed N")
+	}
+}
+
+func TestAppendThenPooledStateGrowth(t *testing.T) {
+	// A query BEFORE the append seeds the pool with a small visited
+	// array; the query AFTER must transparently grow it (no panic, right
+	// answers).
+	w := makeWorkload(200, 50, 64, 2, 76)
+	ix := buildIndex(t, w, 10)
+	ix.Query(w.points[0]) // seed pool at n=200
+
+	r := rng.New(77)
+	extra := make([]vector.Binary, 300)
+	for i := range extra {
+		p := vector.NewBinary(64)
+		for j := 0; j < 64; j++ {
+			p.SetBit(j, r.Float64() < 0.5)
+		}
+		extra[i] = p
+	}
+	if err := ix.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ix.Query(extra[0])
+	all := append(append([]vector.Binary{}, w.points...), extra...)
+	truth := GroundTruth(all, distance.Hamming, extra[0], 10)
+	if Recall(out, truth) < 0.5 && len(truth) > 0 {
+		t.Fatalf("post-append query lost results: %d vs %d", len(out), len(truth))
+	}
+}

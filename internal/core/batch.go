@@ -1,0 +1,54 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult is one query's outcome within QueryBatch.
+type BatchResult struct {
+	// IDs are the reported point ids (distinct, unordered).
+	IDs []int32
+	// Stats is the per-query breakdown.
+	Stats QueryStats
+}
+
+// QueryBatch answers many queries concurrently, using up to workers
+// goroutines (0 means GOMAXPROCS). Results are positionally aligned with
+// queries. The index is read-only during queries, so any number of
+// concurrent batches is safe; each worker draws its own pooled query
+// state.
+func (ix *Index[P]) QueryBatch(queries []P, workers int) []BatchResult {
+	if len(queries) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]BatchResult, len(queries))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				ids, stats := ix.Query(queries[i])
+				results[i] = BatchResult{IDs: ids, Stats: stats}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

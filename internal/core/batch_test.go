@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/distance"
+)
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	w := makeWorkload(1500, 800, 64, 2, 21)
+	ix := buildIndex(t, w, 10)
+	queries := w.points[:40]
+	batch := ix.QueryBatch(queries, 8)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		seq, seqStats := ix.Query(q)
+		if len(batch[i].IDs) != len(seq) {
+			t.Fatalf("query %d: batch %d ids, sequential %d", i, len(batch[i].IDs), len(seq))
+		}
+		if batch[i].Stats.Strategy != seqStats.Strategy {
+			t.Fatalf("query %d: strategy differs between batch and sequential", i)
+		}
+		if Recall(batch[i].IDs, seq) != 1 {
+			t.Fatalf("query %d: batch ids differ from sequential", i)
+		}
+	}
+}
+
+func TestQueryBatchEdgeCases(t *testing.T) {
+	w := makeWorkload(300, 100, 64, 2, 22)
+	ix := buildIndex(t, w, 10)
+	if got := ix.QueryBatch(nil, 4); got != nil {
+		t.Fatal("empty batch should return nil")
+	}
+	// workers > queries and workers = 0 both work.
+	one := ix.QueryBatch(w.points[:1], 16)
+	if len(one) != 1 {
+		t.Fatal("single-query batch broken")
+	}
+	zero := ix.QueryBatch(w.points[:3], 0)
+	if len(zero) != 3 {
+		t.Fatal("workers=0 batch broken")
+	}
+}
+
+func TestQueryBatchResultsCorrect(t *testing.T) {
+	w := makeWorkload(800, 300, 64, 2, 23)
+	ix := buildIndex(t, w, 9)
+	res := ix.QueryBatch(w.points[:20], 4)
+	for i, r := range res {
+		for _, id := range r.IDs {
+			if distance.Hamming(w.points[id], w.points[i]) > 9 {
+				t.Fatalf("query %d reported point beyond radius", i)
+			}
+		}
+	}
+}

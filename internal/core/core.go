@@ -1,0 +1,484 @@
+// Package core implements the paper's contribution: the hybrid search
+// strategy for r-near neighbor reporting (Algorithm 2) on top of LSH hash
+// tables with per-bucket HyperLogLog sketches (Algorithm 1), governed by
+// the computational cost model of Equations (1) and (2):
+//
+//	LSHCost    = α·#collisions + β·candSize
+//	LinearCost = β·n
+//
+// A query first reads its L bucket sizes (#collisions, exact) and merges
+// the buckets' HLL sketches (candSize, estimated), then runs LSH-based
+// search if LSHCost < LinearCost and an exact linear scan otherwise.
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/hll"
+	"repro/internal/lsh"
+)
+
+// Strategy identifies which search path answered a query.
+type Strategy int
+
+// The two strategies Algorithm 2 chooses between.
+const (
+	StrategyLSH Strategy = iota
+	StrategyLinear
+)
+
+// String returns "lsh" or "linear".
+func (s Strategy) String() string {
+	switch s {
+	case StrategyLSH:
+		return "lsh"
+	case StrategyLinear:
+		return "linear"
+	default:
+		return "unknown"
+	}
+}
+
+// CostModel holds the two machine- and workload-dependent constants of the
+// paper's cost model: Alpha, the average cost of removing one duplicate
+// (one visited-array probe + possible candidate append), and Beta, the
+// cost of one distance computation. Only the ratio Beta/Alpha matters for
+// the strategy decision; the paper picks 10, 10, 6 and 1 for Webspam,
+// CoverType, Corel and MNIST respectively.
+type CostModel struct {
+	Alpha float64
+	Beta  float64
+}
+
+// LSHCost evaluates Equation (1).
+func (c CostModel) LSHCost(collisions int, candSize float64) float64 {
+	return c.Alpha*float64(collisions) + c.Beta*candSize
+}
+
+// LinearCost evaluates Equation (2).
+func (c CostModel) LinearCost(n int) float64 {
+	return c.Beta * float64(n)
+}
+
+// Valid reports whether both constants are positive.
+func (c CostModel) Valid() bool { return c.Alpha > 0 && c.Beta > 0 }
+
+// Config configures an Index over point type P.
+type Config[P any] struct {
+	// Family is the LSH family matching Distance.
+	Family lsh.Family[P]
+	// Distance is the metric of the rNNR instance.
+	Distance distance.Func[P]
+	// Radius is the reporting radius r.
+	Radius float64
+	// Delta is the per-point failure probability δ (default 0.1).
+	Delta float64
+	// L is the number of hash tables (default 50, the paper's setting).
+	L int
+	// K is the concatenation length; 0 derives it from the family's
+	// p₁(Radius) via the paper's formula k = ⌈log(1−δ^{1/L})/log p₁⌉.
+	K int
+	// HLLRegisters is m (default 128, the paper's Table-1 setting).
+	HLLRegisters int
+	// HLLThreshold overrides the sketch-on-build bucket-size threshold;
+	// 0 means HLLRegisters (the paper's rule).
+	HLLThreshold int
+	// Cost is the calibrated cost model; the zero value defers to
+	// DefaultCostModel. Use Calibrate to measure it.
+	Cost CostModel
+	// Seed makes the whole index deterministic.
+	Seed uint64
+}
+
+// DefaultCostModel is used when Config.Cost is zero. β/α = 8 sits between
+// the paper's per-dataset choices (1–10); Calibrate replaces it with a
+// measured value.
+var DefaultCostModel = CostModel{Alpha: 1, Beta: 8}
+
+// Index is the hybrid rNNR structure. It is immutable and safe for
+// concurrent queries after NewIndex returns.
+type Index[P any] struct {
+	points []P
+	dist   distance.Func[P]
+	radius float64
+	delta  float64
+	k      int
+	p1     float64
+	cost   CostModel
+	tables *lsh.Tables[P]
+	states sync.Pool // *queryState
+}
+
+// queryState is the per-query scratch: the generation-stamped visited
+// array used for duplicate removal (the paper's step S2) and the HLL merge
+// target. Pooling it keeps Query allocation-free in steady state.
+type queryState struct {
+	visited []uint32
+	gen     uint32
+	sketch  *hll.Sketch
+}
+
+// NewIndex builds the hybrid index: L hash tables with per-bucket HLLs
+// (Algorithm 1) plus the cost model. It returns an error on invalid
+// configuration or if the family's collision probability at Radius is
+// degenerate (0 or 1), which would make the parameter solver meaningless.
+func NewIndex[P any](points []P, cfg Config[P]) (*Index[P], error) {
+	if cfg.Family == nil {
+		return nil, fmt.Errorf("core: Config.Family is nil")
+	}
+	if cfg.Distance == nil {
+		return nil, fmt.Errorf("core: Config.Distance is nil")
+	}
+	if cfg.Radius <= 0 {
+		return nil, fmt.Errorf("core: Config.Radius = %v, want > 0", cfg.Radius)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.1
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("core: Config.Delta = %v, want in (0,1)", cfg.Delta)
+	}
+	if cfg.L == 0 {
+		cfg.L = 50
+	}
+	if cfg.L < 1 {
+		return nil, fmt.Errorf("core: Config.L = %d, want >= 1", cfg.L)
+	}
+	if cfg.HLLRegisters == 0 {
+		cfg.HLLRegisters = 128
+	}
+	if (cfg.Cost != CostModel{}) && !cfg.Cost.Valid() {
+		return nil, fmt.Errorf("core: Config.Cost = %+v, want positive constants", cfg.Cost)
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel
+	}
+
+	p1 := cfg.Family.CollisionProb(cfg.Radius)
+	k := cfg.K
+	if k == 0 {
+		if p1 <= 0 || p1 >= 1 {
+			return nil, fmt.Errorf("core: collision probability p1(r=%v) = %v is degenerate; set Config.K explicitly", cfg.Radius, p1)
+		}
+		k = lsh.SolveK(p1, cfg.Delta, cfg.L)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: Config.K = %d, want >= 1", k)
+	}
+
+	tables, err := lsh.Build(points, cfg.Family, lsh.Params{
+		K:            k,
+		L:            cfg.L,
+		HLLRegisters: cfg.HLLRegisters,
+		HLLThreshold: cfg.HLLThreshold,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ix := &Index[P]{
+		points: points,
+		dist:   cfg.Distance,
+		radius: cfg.Radius,
+		delta:  cfg.Delta,
+		k:      k,
+		p1:     p1,
+		cost:   cfg.Cost,
+		tables: tables,
+	}
+	n := len(points)
+	m := cfg.HLLRegisters
+	ix.states.New = func() any {
+		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
+	}
+	return ix, nil
+}
+
+// N returns the number of indexed points.
+func (ix *Index[P]) N() int { return len(ix.points) }
+
+// Radius returns the reporting radius the index was built for.
+func (ix *Index[P]) Radius() float64 { return ix.radius }
+
+// K returns the concatenation length in use.
+func (ix *Index[P]) K() int { return ix.k }
+
+// L returns the number of hash tables.
+func (ix *Index[P]) L() int { return ix.tables.L() }
+
+// P1 returns the family's collision probability at the index radius.
+func (ix *Index[P]) P1() float64 { return ix.p1 }
+
+// Cost returns the cost model in use.
+func (ix *Index[P]) Cost() CostModel { return ix.cost }
+
+// Tables exposes the underlying LSH structure (read-only) for the probing
+// extensions and white-box experiments.
+func (ix *Index[P]) Tables() *lsh.Tables[P] { return ix.tables }
+
+// DistanceTo returns the index metric's distance between stored point id
+// and q. It panics if id is out of range.
+func (ix *Index[P]) DistanceTo(id int32, q P) float64 {
+	return ix.dist(ix.points[id], q)
+}
+
+// Point returns the stored point with the given id.
+func (ix *Index[P]) Point(id int32) P { return ix.points[id] }
+
+// Append adds points to the index, assigning ids from the current N
+// upward. The per-bucket sketches are maintained incrementally (HLLs only
+// ever absorb insertions), so hybrid decisions stay accurate. Append must
+// not run concurrently with queries; the caller synchronizes mutation.
+// Note that k was solved for the build-time radius and δ — appending does
+// not retune parameters.
+func (ix *Index[P]) Append(points []P) error {
+	if len(points) == 0 {
+		return nil
+	}
+	if err := ix.tables.Append(points); err != nil {
+		return err
+	}
+	ix.points = append(ix.points, points...)
+	return nil
+}
+
+// QueryStats reports what one query did; every experiment in the paper is
+// an aggregation of these.
+type QueryStats struct {
+	// Strategy is the path that produced the results.
+	Strategy Strategy
+	// Collisions is Σ bucket sizes over the L probed buckets (exact).
+	Collisions int
+	// EstCandidates is the HLL estimate of the distinct candidate count
+	// when Estimated is true; otherwise the decision was short-circuited
+	// by a collision-count bound and EstCandidates holds that bound.
+	EstCandidates float64
+	// Estimated reports whether the L bucket sketches were actually
+	// merged. The decision rule skips the merge when a bound already
+	// settles it: candSize ≤ #collisions (so a winning upper bound
+	// commits to LSH), and LSHCost ≥ α·#collisions (so a losing lower
+	// bound commits to linear).
+	Estimated bool
+	// Candidates is the number of distinct candidates actually examined
+	// (LSH path) or n (linear path).
+	Candidates int
+	// Results is the number of points reported within the radius.
+	Results int
+	// EstimateTime covers Algorithm-2 steps 1–3: bucket size collection,
+	// HLL merge and the cost comparison.
+	EstimateTime time.Duration
+	// SearchTime covers the chosen search (S2 dedup + S3 distances, or
+	// the linear scan).
+	SearchTime time.Duration
+	// LSHCost and LinearCost are the two sides of the decision.
+	LSHCost    float64
+	LinearCost float64
+}
+
+// TotalTime returns estimation plus search time.
+func (s QueryStats) TotalTime() time.Duration { return s.EstimateTime + s.SearchTime }
+
+// getState draws a pooled query state, growing its visited array if the
+// index has been appended to since the state was created.
+func (ix *Index[P]) getState() *queryState {
+	st := ix.states.Get().(*queryState)
+	if len(st.visited) < len(ix.points) {
+		st.visited = make([]uint32, len(ix.points))
+		st.gen = 0
+	}
+	return st
+}
+
+// decide runs Algorithm-2 steps 1–3 into stats: collision counting, the
+// HLL merge (unless a collision bound already settles the comparison) and
+// the cost evaluation. It returns the chosen strategy.
+func (ix *Index[P]) decide(buckets []*lsh.Bucket, st *queryState, stats *QueryStats) Strategy {
+	stats.Collisions = lsh.Collisions(buckets)
+	stats.LinearCost = ix.cost.LinearCost(len(ix.points))
+	// Short-circuit 1: candSize ≤ #collisions, so if the pessimistic
+	// LSHCost already beats linear there is nothing to estimate.
+	if upper := ix.cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
+		stats.EstCandidates = float64(stats.Collisions)
+		stats.LSHCost = upper
+		return StrategyLSH
+	}
+	// Short-circuit 2: LSHCost ≥ α·#collisions, so if that lower bound
+	// alone reaches LinearCost the scan wins regardless of candSize.
+	if lower := ix.cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
+		stats.EstCandidates = float64(stats.Collisions)
+		stats.LSHCost = lower
+		return StrategyLinear
+	}
+	stats.Estimated = true
+	stats.EstCandidates = ix.tables.EstimateCandidates(buckets, st.sketch)
+	stats.LSHCost = ix.cost.LSHCost(stats.Collisions, stats.EstCandidates)
+	if stats.LSHCost < stats.LinearCost {
+		return StrategyLSH
+	}
+	return StrategyLinear
+}
+
+// Query answers one rNNR query with the hybrid strategy (Algorithm 2):
+// estimate LSHCost from bucket sizes and merged HLLs, compare with
+// LinearCost, and run the cheaper search. The returned ids are distinct
+// but in unspecified order (sorting is not part of the paper's cost model;
+// callers that need order sort the ids themselves).
+func (ix *Index[P]) Query(q P) ([]int32, QueryStats) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+
+	var stats QueryStats
+	t0 := time.Now()
+	buckets := ix.tables.Lookup(q)
+	stats.Strategy = ix.decide(buckets, st, &stats)
+	stats.EstimateTime = time.Since(t0)
+
+	t1 := time.Now()
+	var out []int32
+	if stats.Strategy == StrategyLSH {
+		out = ix.searchBuckets(q, buckets, st, &stats)
+	} else {
+		out = ix.searchLinear(q, &stats)
+	}
+	stats.SearchTime = time.Since(t1)
+	return out, stats
+}
+
+// EstimateCandSize always performs the full O(m·L) sketch merge — no
+// short-circuits — and returns the collision count, the candSize estimate
+// and the time the merge took. Table 1 measures exactly this operation.
+func (ix *Index[P]) EstimateCandSize(q P) (collisions int, est float64, elapsed time.Duration) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+	t0 := time.Now()
+	buckets := ix.tables.Lookup(q)
+	collisions = lsh.Collisions(buckets)
+	est = ix.tables.EstimateCandidates(buckets, st.sketch)
+	return collisions, est, time.Since(t0)
+}
+
+// QueryLSH forces the classic LSH-based search (no estimation, no
+// fallback). It is the "LSH" baseline of Figure 2.
+func (ix *Index[P]) QueryLSH(q P) ([]int32, QueryStats) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+
+	var stats QueryStats
+	stats.Strategy = StrategyLSH
+	t0 := time.Now()
+	buckets := ix.tables.Lookup(q)
+	stats.Collisions = lsh.Collisions(buckets)
+	out := ix.searchBuckets(q, buckets, st, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+// QueryLinear forces the exact linear scan. It is the "Linear" baseline of
+// Figure 2.
+func (ix *Index[P]) QueryLinear(q P) ([]int32, QueryStats) {
+	var stats QueryStats
+	stats.Strategy = StrategyLinear
+	t0 := time.Now()
+	out := ix.searchLinear(q, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+// DecideStrategy runs only steps 1–3 of Algorithm 2 and returns the
+// decision without searching. The ablation experiments use it to compare
+// the HLL-based decision against an oracle.
+func (ix *Index[P]) DecideStrategy(q P) (Strategy, QueryStats) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+
+	var stats QueryStats
+	t0 := time.Now()
+	buckets := ix.tables.Lookup(q)
+	stats.Strategy = ix.decide(buckets, st, &stats)
+	stats.EstimateTime = time.Since(t0)
+	return stats.Strategy, stats
+}
+
+// searchBuckets is the paper's steps S2 + S3: walk the probed buckets,
+// remove duplicates with a generation-stamped visited array, compute the
+// distance of each distinct candidate, and report those within the radius.
+func (ix *Index[P]) searchBuckets(q P, buckets []*lsh.Bucket, st *queryState, stats *QueryStats) []int32 {
+	st.gen++
+	if st.gen == 0 {
+		// Generation counter wrapped: clear stamps and restart.
+		clear(st.visited)
+		st.gen = 1
+	}
+	gen := st.gen
+	var out []int32
+	for _, b := range buckets {
+		for _, id := range b.IDs {
+			if st.visited[id] == gen {
+				continue
+			}
+			st.visited[id] = gen
+			stats.Candidates++
+			if ix.dist(ix.points[id], q) <= ix.radius {
+				out = append(out, id)
+			}
+		}
+	}
+	stats.Results = len(out)
+	return out
+}
+
+// searchLinear scans all points; it is exact.
+func (ix *Index[P]) searchLinear(q P, stats *QueryStats) []int32 {
+	var out []int32
+	for i := range ix.points {
+		if ix.dist(ix.points[i], q) <= ix.radius {
+			out = append(out, int32(i))
+		}
+	}
+	stats.Candidates = len(ix.points)
+	stats.Results = len(out)
+	return out
+}
+
+// GroundTruth reports the exact result set of a query by linear scan; the
+// recall experiments compare strategy outputs against it.
+func GroundTruth[P any](points []P, dist distance.Func[P], q P, r float64) []int32 {
+	var out []int32
+	for i := range points {
+		if dist(points[i], q) <= r {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Recall returns |reported ∩ truth| / |truth|; it is 1 for an empty truth
+// set. Neither slice needs to be sorted; the inputs are not modified.
+func Recall(reported, truth []int32) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	rep := append([]int32(nil), reported...)
+	tr := append([]int32(nil), truth...)
+	slices.Sort(rep)
+	slices.Sort(tr)
+	hits, i, j := 0, 0, 0
+	for i < len(rep) && j < len(tr) {
+		switch {
+		case rep[i] < tr[j]:
+			i++
+		case rep[i] > tr[j]:
+			j++
+		default:
+			hits++
+			i++
+			j++
+		}
+	}
+	return float64(hits) / float64(len(tr))
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+	"repro/internal/lsh"
+	"repro/internal/vector"
+)
+
+// TestQuickHybridInvariants drives randomized workloads through the whole
+// stack and checks the invariants the paper's correctness rests on:
+//
+//  1. every reported point is within the radius (no false positives);
+//  2. the linear path equals exact ground truth;
+//  3. the decision matches the sign of LSHCost − LinearCost in the stats;
+//  4. hybrid recall ≥ pure-LSH recall on the same query.
+func TestQuickHybridInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		w := makeWorkload(400+int(seed%5)*100, 100+int(seed%7)*30, 64, 3, seed)
+		ix, err := NewIndex(w.points, Config[vector.Binary]{
+			Family:   lsh.NewBitSampling(64),
+			Distance: distance.Hamming,
+			Radius:   8 + float64(seed%6),
+			L:        20,
+			Seed:     seed * 13,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		r := ix.Radius()
+		for qi := 0; qi < 5; qi++ {
+			q := w.points[(seed+uint64(qi)*31)%uint64(len(w.points))]
+			out, stats := ix.Query(q)
+			for _, id := range out {
+				if distance.Hamming(w.points[id], q) > r {
+					t.Logf("seed %d: false positive", seed)
+					return false
+				}
+			}
+			lin, _ := ix.QueryLinear(q)
+			truth := GroundTruth(w.points, distance.Hamming, q, r)
+			if len(lin) != len(truth) || Recall(lin, truth) != 1 {
+				t.Logf("seed %d: linear path inexact", seed)
+				return false
+			}
+			wantLinear := stats.LSHCost >= stats.LinearCost
+			if (stats.Strategy == StrategyLinear) != wantLinear {
+				t.Logf("seed %d: decision inconsistent with reported costs", seed)
+				return false
+			}
+			lshOut, _ := ix.QueryLSH(q)
+			if Recall(out, truth) < Recall(lshOut, truth)-1e-9 &&
+				stats.Strategy == StrategyLinear {
+				t.Logf("seed %d: linear fallback lowered recall", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEstimateWithinHLLBounds checks over random workloads that the
+// candSize estimate stays within a few standard errors of the true
+// distinct candidate count — the accuracy Table 1 reports and the decision
+// rule depends on.
+func TestQuickEstimateWithinHLLBounds(t *testing.T) {
+	check := func(seed uint64) bool {
+		w := makeWorkload(1000, 400, 64, 3, seed)
+		ix, err := NewIndex(w.points, Config[vector.Binary]{
+			Family:       lsh.NewBitSampling(64),
+			Distance:     distance.Hamming,
+			Radius:       10,
+			L:            20,
+			HLLRegisters: 128,
+			Seed:         seed,
+		})
+		if err != nil {
+			return false
+		}
+		for qi := 0; qi < 3; qi++ {
+			q := w.points[(seed+uint64(qi)*97)%uint64(len(w.points))]
+			_, est, _ := ix.EstimateCandSize(q)
+			_, lshStats := ix.QueryLSH(q)
+			truth := float64(lshStats.Candidates)
+			if truth == 0 {
+				if est > 2 {
+					return false
+				}
+				continue
+			}
+			rel := (est - truth) / truth
+			// 1.04/√128 ≈ 9.2%; allow 5σ plus small-cardinality slack.
+			if rel > 0.46+10/truth || rel < -0.46-10/truth {
+				t.Logf("seed %d: est %v vs truth %v (rel %v)", seed, est, truth, rel)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package covering implements covering LSH for Hamming space (Pagh, SODA
+// 2016): an LSH scheme with **no false negatives** — every point within
+// radius r of the query is guaranteed (probability 1) to share at least
+// one bucket with it — combined with the Hybrid-LSH paper's per-bucket
+// HyperLogLog sketches and cost-based strategy choice, the second
+// future-work combination Section 5 names.
+//
+// Construction: let b = r+1 and draw a random map φ: [d] → {0,1}^b. For
+// every non-zero vector v ∈ {0,1}^b build one hash table whose key keeps
+// exactly the coordinates i with ⟨φ(i), v⟩ = 1 (mod 2). If x and y differ
+// on a set D of at most r coordinates, the linear system ⟨φ(i), v⟩ = 0 for
+// i ∈ D has at most r equations over b = r+1 unknowns, so a non-zero
+// solution v* exists — and in table v* no differing coordinate is kept,
+// hence x and y collide. The price is 2^(r+1) − 1 tables, practical for
+// small radii; with that many probed buckets per query, cost estimation is
+// exactly what keeps hard queries from drowning in duplicate removal.
+package covering
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/hll"
+	"repro/internal/lsh"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+// MaxRadius bounds the supported radius: r = 12 already means 8191 tables.
+const MaxRadius = 12
+
+// Config configures a covering-LSH hybrid index.
+type Config struct {
+	// HLLRegisters is m (default 128).
+	HLLRegisters int
+	// HLLThreshold is the pre-built-sketch bucket-size threshold
+	// (default: HLLRegisters, the paper's rule).
+	HLLThreshold int
+	// Cost is the cost model (default core.DefaultCostModel).
+	Cost core.CostModel
+	// Seed fixes the random map φ.
+	Seed uint64
+}
+
+// Index is the covering-LSH structure: 2^(r+1)−1 mask tables with
+// per-bucket sketches. It is immutable and safe for concurrent queries.
+type Index struct {
+	points []vector.Binary
+	radius int
+	m      int
+	cost   core.CostModel
+	masks  []vector.Binary // one keep-mask per table
+	tables []map[uint64]*lsh.Bucket
+	states sync.Pool
+}
+
+// New builds a covering index over binary points for integer radius r.
+func New(points []vector.Binary, r int, cfg Config) (*Index, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("covering: empty point set")
+	}
+	if r < 1 || r > MaxRadius {
+		return nil, fmt.Errorf("covering: radius = %d, want in [1, %d]", r, MaxRadius)
+	}
+	dim := points[0].Dim
+	if r >= dim {
+		return nil, fmt.Errorf("covering: radius %d >= dimension %d", r, dim)
+	}
+	if cfg.HLLRegisters == 0 {
+		cfg.HLLRegisters = 128
+	}
+	if m := cfg.HLLRegisters; m < hll.MinM || m > hll.MaxM || m&(m-1) != 0 {
+		return nil, fmt.Errorf("covering: HLLRegisters = %d, want a power of two in [%d, %d]", m, hll.MinM, hll.MaxM)
+	}
+	if cfg.HLLThreshold == 0 {
+		cfg.HLLThreshold = cfg.HLLRegisters
+	}
+	if cfg.Cost == (core.CostModel{}) {
+		cfg.Cost = core.DefaultCostModel
+	}
+
+	b := uint(r + 1)
+	numTables := (1 << b) - 1
+	// φ(i) ∈ {0,1}^b per dimension, drawn uniformly.
+	rnd := rng.New(cfg.Seed)
+	phi := make([]uint32, dim)
+	for i := range phi {
+		phi[i] = uint32(rnd.Uint64() & ((1 << b) - 1))
+	}
+	// Mask of table v keeps coordinate i iff parity(φ(i) & v) = 1.
+	masks := make([]vector.Binary, numTables)
+	for t := 0; t < numTables; t++ {
+		v := uint32(t + 1)
+		mask := vector.NewBinary(dim)
+		for i := 0; i < dim; i++ {
+			if parity(phi[i]&v) == 1 {
+				mask.SetBit(i, true)
+			}
+		}
+		masks[t] = mask
+	}
+
+	ix := &Index{
+		points: points,
+		radius: r,
+		m:      cfg.HLLRegisters,
+		cost:   cfg.Cost,
+		masks:  masks,
+		tables: make([]map[uint64]*lsh.Bucket, numTables),
+	}
+	for t := range ix.tables {
+		buckets := make(map[uint64]*lsh.Bucket)
+		for i, p := range points {
+			key := maskedKey(p, masks[t])
+			bk := buckets[key]
+			if bk == nil {
+				bk = &lsh.Bucket{}
+				buckets[key] = bk
+			}
+			bk.IDs = append(bk.IDs, int32(i))
+		}
+		for _, bk := range buckets {
+			if len(bk.IDs) >= cfg.HLLThreshold {
+				s := hll.New(cfg.HLLRegisters)
+				for _, id := range bk.IDs {
+					s.AddID(uint64(id))
+				}
+				bk.Sketch = s
+			}
+		}
+		ix.tables[t] = buckets
+	}
+	n := len(points)
+	m := cfg.HLLRegisters
+	ix.states.New = func() any {
+		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
+	}
+	return ix, nil
+}
+
+type queryState struct {
+	visited []uint32
+	gen     uint32
+	sketch  *hll.Sketch
+}
+
+// parity returns the XOR of the bits of x.
+func parity(x uint32) uint32 {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// maskedKey hashes the masked coordinates of p.
+func maskedKey(p, mask vector.Binary) uint64 {
+	h := uint64(len(p.Words)) * 0x9e3779b97f4a7c15
+	for i, w := range p.Words {
+		h = hashutil.Combine(h, w&mask.Words[i])
+	}
+	return h
+}
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return len(ix.points) }
+
+// Tables returns the table count 2^(r+1) − 1.
+func (ix *Index) Tables() int { return len(ix.tables) }
+
+// Radius returns the covering radius.
+func (ix *Index) Radius() int { return ix.radius }
+
+// Lookup returns the query's bucket in every table.
+func (ix *Index) Lookup(q vector.Binary) []*lsh.Bucket {
+	out := make([]*lsh.Bucket, 0, len(ix.tables))
+	for t, buckets := range ix.tables {
+		if b := buckets[maskedKey(q, ix.masks[t])]; b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Query answers one rNNR query with the hybrid strategy over the covering
+// tables. Both paths are exact: covering LSH has no false negatives and
+// linear search scans everything, so Query always achieves recall 1.
+func (ix *Index) Query(q vector.Binary) ([]int32, core.QueryStats) {
+	st := ix.states.Get().(*queryState)
+	defer ix.states.Put(st)
+
+	var stats core.QueryStats
+	t0 := time.Now()
+	buckets := ix.Lookup(q)
+	stats.Collisions = lsh.Collisions(buckets)
+	stats.LinearCost = ix.cost.LinearCost(len(ix.points))
+	if upper := ix.cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
+		stats.Strategy = core.StrategyLSH
+		stats.EstCandidates = float64(stats.Collisions)
+		stats.LSHCost = upper
+	} else if lower := ix.cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
+		stats.Strategy = core.StrategyLinear
+		stats.EstCandidates = float64(stats.Collisions)
+		stats.LSHCost = lower
+	} else {
+		stats.Estimated = true
+		stats.EstCandidates = ix.estimate(buckets, st.sketch)
+		stats.LSHCost = ix.cost.LSHCost(stats.Collisions, stats.EstCandidates)
+		if stats.LSHCost < stats.LinearCost {
+			stats.Strategy = core.StrategyLSH
+		} else {
+			stats.Strategy = core.StrategyLinear
+		}
+	}
+	stats.EstimateTime = time.Since(t0)
+
+	t1 := time.Now()
+	var out []int32
+	if stats.Strategy == core.StrategyLSH {
+		out = ix.searchBuckets(q, buckets, st, &stats)
+	} else {
+		out = ix.searchLinear(q, &stats)
+	}
+	stats.SearchTime = time.Since(t1)
+	return out, stats
+}
+
+// QueryLSH forces covering-LSH search (still exact — no false negatives).
+func (ix *Index) QueryLSH(q vector.Binary) ([]int32, core.QueryStats) {
+	st := ix.states.Get().(*queryState)
+	defer ix.states.Put(st)
+	var stats core.QueryStats
+	stats.Strategy = core.StrategyLSH
+	t0 := time.Now()
+	buckets := ix.Lookup(q)
+	stats.Collisions = lsh.Collisions(buckets)
+	out := ix.searchBuckets(q, buckets, st, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+// QueryLinear forces the exact linear scan.
+func (ix *Index) QueryLinear(q vector.Binary) ([]int32, core.QueryStats) {
+	var stats core.QueryStats
+	stats.Strategy = core.StrategyLinear
+	t0 := time.Now()
+	out := ix.searchLinear(q, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+func (ix *Index) estimate(buckets []*lsh.Bucket, scratch *hll.Sketch) float64 {
+	scratch.Reset()
+	for _, b := range buckets {
+		if b.Sketch != nil {
+			scratch.Merge(b.Sketch)
+		} else {
+			for _, id := range b.IDs {
+				scratch.AddID(uint64(id))
+			}
+		}
+	}
+	return scratch.Estimate()
+}
+
+func (ix *Index) searchBuckets(q vector.Binary, buckets []*lsh.Bucket, st *queryState, stats *core.QueryStats) []int32 {
+	st.gen++
+	if st.gen == 0 {
+		clear(st.visited)
+		st.gen = 1
+	}
+	gen := st.gen
+	var out []int32
+	r := ix.radius
+	for _, b := range buckets {
+		for _, id := range b.IDs {
+			if st.visited[id] == gen {
+				continue
+			}
+			st.visited[id] = gen
+			stats.Candidates++
+			if vector.Hamming(ix.points[id], q) <= r {
+				out = append(out, id)
+			}
+		}
+	}
+	stats.Results = len(out)
+	return out
+}
+
+func (ix *Index) searchLinear(q vector.Binary, stats *core.QueryStats) []int32 {
+	var out []int32
+	r := ix.radius
+	for i := range ix.points {
+		if vector.Hamming(ix.points[i], q) <= r {
+			out = append(out, int32(i))
+		}
+	}
+	stats.Candidates = len(ix.points)
+	stats.Results = len(out)
+	return out
+}

@@ -1,0 +1,120 @@
+// Package distance defines the distance measures the paper evaluates —
+// Hamming (MNIST fingerprints), L1 (CoverType), L2 (Corel) and cosine
+// distance (Webspam) — plus Jaccard distance for the MinHash family the
+// paper cites. Each measure is paired in internal/lsh with an LSH family
+// whose collision probability p₁(r) is known in closed form.
+package distance
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/vector"
+)
+
+// Kind identifies a distance measure.
+type Kind int
+
+// The supported distance measures.
+const (
+	HammingKind Kind = iota
+	L1Kind
+	L2Kind
+	CosineKind
+	AngularKind
+	JaccardKind
+)
+
+// String returns the conventional name of the measure.
+func (k Kind) String() string {
+	switch k {
+	case HammingKind:
+		return "hamming"
+	case L1Kind:
+		return "l1"
+	case L2Kind:
+		return "l2"
+	case CosineKind:
+		return "cosine"
+	case AngularKind:
+		return "angular"
+	case JaccardKind:
+		return "jaccard"
+	default:
+		return "unknown"
+	}
+}
+
+// Func is a distance function over a point type P.
+type Func[P any] func(a, b P) float64
+
+// Hamming is the Hamming distance on bit-packed binary vectors.
+func Hamming(a, b vector.Binary) float64 {
+	return float64(vector.Hamming(a, b))
+}
+
+// L1 is the Manhattan distance on dense vectors.
+func L1(a, b vector.Dense) float64 { return vector.L1(a, b) }
+
+// L2 is the Euclidean distance on dense vectors.
+func L2(a, b vector.Dense) float64 { return vector.L2(a, b) }
+
+// Cosine is the cosine distance 1 − cos(a, b) on sparse vectors, the
+// measure used for the Webspam experiments. It ranges over [0, 2].
+func Cosine(a, b vector.Sparse) float64 {
+	return clampNonNeg(1 - vector.CosineSim(a, b))
+}
+
+// CosineDense is Cosine on dense vectors.
+func CosineDense(a, b vector.Dense) float64 {
+	return clampNonNeg(1 - vector.CosineSimDense(a, b))
+}
+
+// Angular is the normalized angle θ(a, b)/π on sparse vectors. Unlike
+// Cosine it is a true metric; SimHash's collision probability is exactly
+// 1 − Angular.
+func Angular(a, b vector.Sparse) float64 {
+	return math.Acos(clampCos(vector.CosineSim(a, b))) / math.Pi
+}
+
+// AngularDense is Angular on dense vectors.
+func AngularDense(a, b vector.Dense) float64 {
+	return math.Acos(clampCos(vector.CosineSimDense(a, b))) / math.Pi
+}
+
+// Jaccard is the Jaccard distance 1 − |A∩B|/|A∪B| on binary vectors viewed
+// as sets of set bits. Two empty sets have distance 0.
+func Jaccard(a, b vector.Binary) float64 {
+	inter, union := 0, 0
+	if a.Dim != b.Dim {
+		panic("distance: Jaccard on mismatched dims")
+	}
+	for i, w := range a.Words {
+		x, y := w, b.Words[i]
+		inter += bits.OnesCount64(x & y)
+		union += bits.OnesCount64(x | y)
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// clampCos clamps a cosine-similarity value into [-1, 1] so that float
+// round-off cannot push math.Acos out of domain.
+func clampCos(c float64) float64 {
+	if c > 1 {
+		return 1
+	}
+	if c < -1 {
+		return -1
+	}
+	return c
+}
+
+func clampNonNeg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,153 @@
+package distance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		HammingKind: "hamming",
+		L1Kind:      "l1",
+		L2Kind:      "l2",
+		CosineKind:  "cosine",
+		AngularKind: "angular",
+		JaccardKind: "jaccard",
+		Kind(99):    "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestHammingWrapper(t *testing.T) {
+	a, b := vector.NewBinary(64), vector.NewBinary(64)
+	a.SetBit(0, true)
+	a.SetBit(63, true)
+	b.SetBit(63, true)
+	if got := Hamming(a, b); got != 1 {
+		t.Fatalf("Hamming = %v, want 1", got)
+	}
+}
+
+func TestCosineEndpoints(t *testing.T) {
+	a := vector.NewSparse(3, []int32{0}, []float32{1})
+	b := vector.NewSparse(3, []int32{0}, []float32{5})
+	if got := Cosine(a, b); math.Abs(got) > 1e-9 {
+		t.Errorf("parallel cosine distance = %v, want 0", got)
+	}
+	c := vector.NewSparse(3, []int32{1}, []float32{1})
+	if got := Cosine(a, c); math.Abs(got-1) > 1e-9 {
+		t.Errorf("orthogonal cosine distance = %v, want 1", got)
+	}
+	d := vector.NewSparse(3, []int32{0}, []float32{-1})
+	if got := Cosine(a, d); math.Abs(got-2) > 1e-9 {
+		t.Errorf("antiparallel cosine distance = %v, want 2", got)
+	}
+}
+
+func TestCosineNeverNegative(t *testing.T) {
+	// Round-off can make cos similarity 1+ε; distance must clamp at 0.
+	a := vector.NewSparse(4, []int32{0, 1, 2}, []float32{0.1, 0.2, 0.3})
+	if got := Cosine(a, a); got < 0 {
+		t.Fatalf("self cosine distance = %v < 0", got)
+	}
+}
+
+func TestAngularIsMetricOnSamples(t *testing.T) {
+	r := rng.New(5)
+	gen := func() vector.Sparse {
+		idx := []int32{0, 1, 2, 3}
+		val := make([]float32, 4)
+		for i := range val {
+			val[i] = float32(r.Normal())
+		}
+		return vector.NewSparse(4, idx, val)
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := gen(), gen(), gen()
+		dab, dbc, dac := Angular(a, b), Angular(b, c), Angular(a, c)
+		if dab < 0 || dab > 1 {
+			t.Fatalf("Angular out of [0,1]: %v", dab)
+		}
+		if math.Abs(dab-Angular(b, a)) > 1e-12 {
+			t.Fatal("Angular not symmetric")
+		}
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("Angular triangle violated: %v > %v + %v", dac, dab, dbc)
+		}
+	}
+}
+
+func TestAngularVsCosineConsistency(t *testing.T) {
+	// angular = acos(1 - cosineDist)/π for unit-ish vectors.
+	r := rng.New(6)
+	for i := 0; i < 100; i++ {
+		val := []float32{float32(r.Normal()), float32(r.Normal()), float32(r.Normal())}
+		a := vector.NewSparse(3, []int32{0, 1, 2}, val)
+		val2 := []float32{float32(r.Normal()), float32(r.Normal()), float32(r.Normal())}
+		b := vector.NewSparse(3, []int32{0, 1, 2}, val2)
+		cd := Cosine(a, b)
+		ang := Angular(a, b)
+		want := math.Acos(1-math.Min(cd, 2)) / math.Pi
+		if math.Abs(ang-want) > 1e-9 {
+			t.Fatalf("angular %v inconsistent with cosine %v", ang, cd)
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a, b := vector.NewBinary(128), vector.NewBinary(128)
+	// A = {0, 1}, B = {1, 2}: |A∩B| = 1, |A∪B| = 3.
+	a.SetBit(0, true)
+	a.SetBit(1, true)
+	b.SetBit(1, true)
+	b.SetBit(2, true)
+	if got := Jaccard(a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 2/3", got)
+	}
+	empty1, empty2 := vector.NewBinary(128), vector.NewBinary(128)
+	if got := Jaccard(empty1, empty2); got != 0 {
+		t.Fatalf("Jaccard of empty sets = %v, want 0", got)
+	}
+	if got := Jaccard(a, a); got != 0 {
+		t.Fatalf("Jaccard self-distance = %v, want 0", got)
+	}
+}
+
+func TestJaccardPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	Jaccard(vector.NewBinary(64), vector.NewBinary(128))
+}
+
+func TestCosineDenseMatchesSparse(t *testing.T) {
+	r := rng.New(8)
+	for i := 0; i < 100; i++ {
+		d1 := vector.Dense{float32(r.Normal()), float32(r.Normal()), float32(r.Normal())}
+		d2 := vector.Dense{float32(r.Normal()), float32(r.Normal()), float32(r.Normal())}
+		s1 := vector.NewSparse(3, []int32{0, 1, 2}, d1)
+		s2 := vector.NewSparse(3, []int32{0, 1, 2}, d2)
+		if math.Abs(Cosine(s1, s2)-CosineDense(d1, d2)) > 1e-6 {
+			t.Fatal("CosineDense disagrees with sparse Cosine")
+		}
+		if math.Abs(Angular(s1, s2)-AngularDense(d1, d2)) > 1e-6 {
+			t.Fatal("AngularDense disagrees with sparse Angular")
+		}
+	}
+}
+
+func TestFuncTypeUsable(t *testing.T) {
+	var f Func[vector.Dense] = L2
+	if got := f(vector.Dense{0, 0}, vector.Dense{3, 4}); got != 5 {
+		t.Fatalf("Func wrapper = %v, want 5", got)
+	}
+}

@@ -1,0 +1,137 @@
+package hashutil
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	testAvalanche(t, "Mix64", Mix64)
+}
+
+func TestMurmur64Avalanche(t *testing.T) {
+	testAvalanche(t, "Murmur64", Murmur64)
+}
+
+// testAvalanche flips each input bit and checks that on average close to
+// half of the output bits change.
+func testAvalanche(t *testing.T, name string, f func(uint64) uint64) {
+	t.Helper()
+	const trials = 2000
+	var totalFlips, totalBits int
+	x := uint64(0x0123456789abcdef)
+	for i := 0; i < trials; i++ {
+		x = Mix64(x + uint64(i))
+		base := f(x)
+		for b := 0; b < 64; b++ {
+			flipped := f(x ^ (1 << b))
+			totalFlips += bits.OnesCount64(base ^ flipped)
+			totalBits += 64
+		}
+	}
+	frac := float64(totalFlips) / float64(totalBits)
+	if frac < 0.49 || frac > 0.51 {
+		t.Errorf("%s avalanche fraction = %v, want ≈ 0.5", name, frac)
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	// Both finalizers are bijections; sample-based check for collisions.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func TestHashIntsLengthSensitivity(t *testing.T) {
+	a := HashInts([]int64{1, 2, 3})
+	b := HashInts([]int64{1, 2, 3, 0})
+	if a == b {
+		t.Error("HashInts ignores trailing zero / length")
+	}
+	if HashInts(nil) != HashInts([]int64{}) {
+		t.Error("HashInts(nil) != HashInts(empty)")
+	}
+}
+
+func TestHashIntsOrderSensitivity(t *testing.T) {
+	a := HashInts([]int64{1, 2})
+	b := HashInts([]int64{2, 1})
+	if a == b {
+		t.Error("HashInts is order-insensitive")
+	}
+}
+
+func TestHashIntsDeterministic(t *testing.T) {
+	err := quick.Check(func(vs []int64) bool {
+		return HashInts(vs) == HashInts(append([]int64(nil), vs...))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIntsCollisionRate(t *testing.T) {
+	// Random distinct short slices should essentially never collide.
+	seen := make(map[uint64][]int64)
+	x := uint64(1)
+	for i := 0; i < 100000; i++ {
+		x = Mix64(x)
+		vs := []int64{int64(x % 64), int64(Mix64(x) % 64), int64(Murmur64(x) % 64), int64(i)}
+		h := HashInts(vs)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %v and %v", prev, vs)
+		}
+		seen[h] = vs
+	}
+}
+
+func TestHashUint64sDiffersFromHashInts(t *testing.T) {
+	// The two families use different initial constants; equal contents
+	// should not produce equal keys (no accidental cross-family collisions).
+	a := HashInts([]int64{1, 2, 3})
+	b := HashUint64s([]uint64{1, 2, 3})
+	if a == b {
+		t.Error("HashInts and HashUint64s collide on identical content")
+	}
+}
+
+func TestElementHashDistribution(t *testing.T) {
+	// Sequential ids must spread uniformly across high bits (HLL uses the
+	// top bits for register selection).
+	const n = 1 << 16
+	buckets := make([]int, 64)
+	for i := uint64(0); i < n; i++ {
+		buckets[ElementHash(i)>>58]++
+	}
+	want := n / 64
+	for i, c := range buckets {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bucket %d: %d elements, want ≈ %d", i, c, want)
+		}
+	}
+}
+
+func TestCombineNonCommutative(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Error("Combine is commutative, order information lost")
+	}
+}
+
+func BenchmarkHashInts(b *testing.B) {
+	vs := make([]int64, 16)
+	for i := range vs {
+		vs[i] = int64(i * 7)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += HashInts(vs)
+	}
+	_ = sink
+}

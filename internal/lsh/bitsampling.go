@@ -1,0 +1,120 @@
+package lsh
+
+import (
+	"fmt"
+
+	"repro/internal/hashutil"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+// BitSampling is the original LSH family of Indyk and Motwani for Hamming
+// distance on {0,1}^d: a base function h samples one coordinate uniformly,
+// so Pr[h(x) = h(y)] = 1 − dist(x, y)/d. The paper uses it on the 64-bit
+// SimHash fingerprints of MNIST.
+type BitSampling struct {
+	dim int
+}
+
+// NewBitSampling returns the bit-sampling family over {0,1}^dim.
+func NewBitSampling(dim int) *BitSampling {
+	if dim <= 0 {
+		panic(fmt.Sprintf("lsh: NewBitSampling dim = %d", dim))
+	}
+	return &BitSampling{dim: dim}
+}
+
+// Name implements Family.
+func (f *BitSampling) Name() string { return "bitsampling" }
+
+// Dim returns the ambient dimension.
+func (f *BitSampling) Dim() int { return f.dim }
+
+// CollisionProb implements Family: p(dist) = 1 − dist/d, clamped to [0, 1].
+func (f *BitSampling) CollisionProb(dist float64) float64 {
+	p := 1 - dist/float64(f.dim)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NewHasher implements Family: k coordinates sampled independently and
+// uniformly with replacement, exactly the Indyk–Motwani construction.
+func (f *BitSampling) NewHasher(k int, r *rng.Rand) Hasher[vector.Binary] {
+	if k < 1 {
+		panic(fmt.Sprintf("lsh: NewHasher k = %d", k))
+	}
+	bits := make([]int, k)
+	for i := range bits {
+		bits[i] = r.Intn(f.dim)
+	}
+	return &BitSamplingHasher{bits: bits}
+}
+
+// BitSamplingHasher is one g-function of the bit-sampling family: the
+// concatenation of k sampled coordinates.
+type BitSamplingHasher struct {
+	bits []int
+}
+
+// K implements Hasher.
+func (h *BitSamplingHasher) K() int { return len(h.bits) }
+
+// Bits returns the sampled coordinate indices (used by the Hamming
+// multi-probe extension to enumerate neighbor buckets).
+func (h *BitSamplingHasher) Bits() []int { return h.bits }
+
+// Key implements Hasher: the k sampled bits are packed MSB-first into
+// 64-bit words and folded to a single key.
+func (h *BitSamplingHasher) Key(p vector.Binary) uint64 {
+	var key, acc uint64
+	nacc := 0
+	flushed := false
+	for _, idx := range h.bits {
+		acc <<= 1
+		if p.Bit(idx) {
+			acc |= 1
+		}
+		if nacc++; nacc == 64 {
+			key = hashutil.Combine(key, acc)
+			acc, nacc = 0, 0
+			flushed = true
+		}
+	}
+	if nacc > 0 || !flushed {
+		key = hashutil.Combine(key, acc)
+	}
+	return key
+}
+
+// KeyFromBits computes the key that Key would produce if the sampled
+// coordinates took the given values (values[i] is the bit at h.bits[i]).
+// It lets probing code derive neighbor-bucket keys without materializing a
+// flipped vector.
+func (h *BitSamplingHasher) KeyFromBits(values []bool) uint64 {
+	if len(values) != len(h.bits) {
+		panic("lsh: KeyFromBits length mismatch")
+	}
+	var key, acc uint64
+	nacc := 0
+	flushed := false
+	for _, v := range values {
+		acc <<= 1
+		if v {
+			acc |= 1
+		}
+		if nacc++; nacc == 64 {
+			key = hashutil.Combine(key, acc)
+			acc, nacc = 0, 0
+			flushed = true
+		}
+	}
+	if nacc > 0 || !flushed {
+		key = hashutil.Combine(key, acc)
+	}
+	return key
+}

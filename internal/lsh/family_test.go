@@ -1,0 +1,454 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+func TestSolveKPaperSetting(t *testing.T) {
+	// δ = 0.1, L = 50 (the paper's setting). The strict k must satisfy the
+	// guarantee (1 − p1^k)^L ≤ δ; the paper's ceiling k is within one of it
+	// and its overshoot stays modest (the E2LSH practical trade).
+	for _, p1 := range []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		ks := SolveKStrict(p1, 0.1, 50)
+		if MissProb(p1, ks, 50) > 0.1+1e-12 {
+			t.Errorf("p1=%v: strict k=%d misses with prob %v > δ", p1, ks, MissProb(p1, ks, 50))
+		}
+		k := SolveK(p1, 0.1, 50)
+		if k != ks && k != ks+1 {
+			t.Errorf("p1=%v: ceil k=%d not within one of strict k=%d", p1, k, ks)
+		}
+		// Larger k means fewer candidates; the overshoot must not blow the
+		// miss probability past ~2δ for any of the paper's regimes.
+		if MissProb(p1, k, 50) > 0.21 {
+			t.Errorf("p1=%v: ceil k=%d misses with prob %v, unexpectedly high", p1, k, MissProb(p1, k, 50))
+		}
+	}
+}
+
+func TestSolveKMonotoneInP1(t *testing.T) {
+	// Larger p1 (easier radii) allows more concatenation, never less.
+	prev := 0
+	for _, p1 := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		k := SolveK(p1, 0.1, 50)
+		if k < prev {
+			t.Fatalf("k not monotone: k(%v) = %d < previous %d", p1, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestSolveKPanics(t *testing.T) {
+	cases := []func(){
+		func() { SolveK(0, 0.1, 50) },
+		func() { SolveK(1, 0.1, 50) },
+		func() { SolveK(0.5, 0, 50) },
+		func() { SolveK(0.5, 1, 50) },
+		func() { SolveK(0.5, 0.1, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCollisionProbMonotone(t *testing.T) {
+	fams := []struct {
+		name string
+		f    func(float64) float64
+		lo   float64
+		hi   float64
+	}{
+		{"bitsampling", NewBitSampling(64).CollisionProb, 0, 64},
+		{"simhash-cosine", NewSimHashCosine(100).CollisionProb, 0, 2},
+		{"simhash-angular", NewSimHashAngular(100).CollisionProb, 0, 1},
+		{"pstable-l1", NewPStableL1(50, 4).CollisionProb, 0.01, 100},
+		{"pstable-l2", NewPStableL2(50, 4).CollisionProb, 0.01, 100},
+		{"minhash", NewMinHash(100).CollisionProb, 0, 1},
+	}
+	for _, fam := range fams {
+		prev := math.Inf(1)
+		for i := 0; i <= 200; i++ {
+			d := fam.lo + (fam.hi-fam.lo)*float64(i)/200
+			p := fam.f(d)
+			if p < 0 || p > 1 {
+				t.Fatalf("%s: p(%v) = %v outside [0,1]", fam.name, d, p)
+			}
+			if p > prev+1e-12 {
+				t.Fatalf("%s: p not monotone at %v: %v > %v", fam.name, d, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestCollisionProbEndpoints(t *testing.T) {
+	if got := NewBitSampling(64).CollisionProb(0); got != 1 {
+		t.Errorf("bitsampling p(0) = %v", got)
+	}
+	if got := NewBitSampling(64).CollisionProb(64); got != 0 {
+		t.Errorf("bitsampling p(d) = %v", got)
+	}
+	if got := NewSimHashAngular(10).CollisionProb(0); got != 1 {
+		t.Errorf("simhash p(0) = %v", got)
+	}
+	if got := NewSimHashAngular(10).CollisionProb(1); got != 0 {
+		t.Errorf("simhash p(1) = %v", got)
+	}
+	if got := NewPStableL2(10, 4).CollisionProb(0); got != 1 {
+		t.Errorf("pstable p(0) = %v", got)
+	}
+	if got := NewPStableL2(10, 4).CollisionProb(1e12); got > 1e-6 {
+		t.Errorf("pstable p(inf) = %v", got)
+	}
+	if got := NewMinHash(10).CollisionProb(0.25); got != 0.75 {
+		t.Errorf("minhash p(0.25) = %v", got)
+	}
+}
+
+// TestBitSamplingEmpiricalCollision verifies Pr[h(x)=h(y)] = 1 − dist/d.
+func TestBitSamplingEmpiricalCollision(t *testing.T) {
+	const d, dist, trials = 64, 16, 20000
+	fam := NewBitSampling(d)
+	r := rng.New(1)
+	x := vector.NewBinary(d)
+	y := x.Clone()
+	for _, i := range r.Sample(d, dist) {
+		y.FlipBit(i)
+	}
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := fam.NewHasher(1, r)
+		if h.Key(x) == h.Key(y) {
+			coll++
+		}
+	}
+	want := fam.CollisionProb(dist)
+	got := float64(coll) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical collision %v, theory %v", got, want)
+	}
+}
+
+// TestSimHashEmpiricalCollision verifies Pr[h(x)=h(y)] = 1 − θ/π on a pair
+// with a known angle.
+func TestSimHashEmpiricalCollision(t *testing.T) {
+	const dim, trials = 8, 20000
+	r := rng.New(2)
+	// x along e0; y at 60° from x in the (e0, e1) plane.
+	theta := math.Pi / 3
+	x := vector.NewSparse(dim, []int32{0}, []float32{1})
+	y := vector.NewSparse(dim, []int32{0, 1},
+		[]float32{float32(math.Cos(theta)), float32(math.Sin(theta))})
+	fam := NewSimHashAngular(dim)
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := fam.NewHasher(1, r)
+		if h.Key(x) == h.Key(y) {
+			coll++
+		}
+	}
+	want := 1 - theta/math.Pi
+	got := float64(coll) / trials
+	if math.Abs(got-want) > 0.015 {
+		t.Errorf("empirical collision %v, theory %v", got, want)
+	}
+	// The cosine-distance parameterization must give the same number for
+	// the corresponding cosine distance.
+	cosDist := 1 - math.Cos(theta)
+	if p := NewSimHashCosine(dim).CollisionProb(cosDist); math.Abs(p-want) > 1e-9 {
+		t.Errorf("cosine-parameterized p = %v, want %v", p, want)
+	}
+}
+
+// TestPStableEmpiricalCollision verifies the closed-form p(r) for both the
+// Gaussian and Cauchy variants by Monte-Carlo over random hash draws.
+func TestPStableEmpiricalCollision(t *testing.T) {
+	const dim, trials = 16, 30000
+	r := rng.New(3)
+	x := make(vector.Dense, dim)
+	y := make(vector.Dense, dim)
+	// L2 case: place y at L2 distance 2 from x.
+	y[0] = 2
+	famL2 := NewPStableL2(dim, 4)
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := famL2.NewHasher(1, r)
+		if h.Key(x) == h.Key(y) {
+			coll++
+		}
+	}
+	want := famL2.CollisionProb(2)
+	got := float64(coll) / trials
+	if math.Abs(got-want) > 0.015 {
+		t.Errorf("L2 empirical %v, theory %v", got, want)
+	}
+
+	// L1 case: y at L1 distance 2 (spread over two coordinates).
+	y = make(vector.Dense, dim)
+	y[0], y[1] = 1, 1
+	famL1 := NewPStableL1(dim, 4)
+	coll = 0
+	for i := 0; i < trials; i++ {
+		h := famL1.NewHasher(1, r)
+		if h.Key(x) == h.Key(y) {
+			coll++
+		}
+	}
+	want = famL1.CollisionProb(2)
+	got = float64(coll) / trials
+	if math.Abs(got-want) > 0.015 {
+		t.Errorf("L1 empirical %v, theory %v", got, want)
+	}
+}
+
+// TestMinHashEmpiricalCollision verifies Pr[h(A)=h(B)] = J(A,B).
+func TestMinHashEmpiricalCollision(t *testing.T) {
+	const dim, trials = 128, 20000
+	r := rng.New(4)
+	a, b := vector.NewBinary(dim), vector.NewBinary(dim)
+	// |A∩B| = 10, |A∪B| = 30 → J = 1/3.
+	for i := 0; i < 10; i++ {
+		a.SetBit(i, true)
+		b.SetBit(i, true)
+	}
+	for i := 10; i < 20; i++ {
+		a.SetBit(i, true)
+	}
+	for i := 20; i < 30; i++ {
+		b.SetBit(i, true)
+	}
+	fam := NewMinHash(dim)
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := fam.NewHasher(1, r)
+		if h.Key(a) == h.Key(b) {
+			coll++
+		}
+	}
+	got := float64(coll) / trials
+	if math.Abs(got-1.0/3) > 0.015 {
+		t.Errorf("empirical collision %v, want 1/3", got)
+	}
+}
+
+func TestHasherDeterminism(t *testing.T) {
+	x := vector.NewBinary(64)
+	x.SetBit(5, true)
+	h1 := NewBitSampling(64).NewHasher(10, rng.New(7))
+	h2 := NewBitSampling(64).NewHasher(10, rng.New(7))
+	if h1.Key(x) != h2.Key(x) {
+		t.Error("bitsampling hasher not deterministic under equal seed")
+	}
+	s := vector.NewSparse(16, []int32{3}, []float32{1})
+	g1 := NewSimHashCosine(16).NewHasher(8, rng.New(7))
+	g2 := NewSimHashCosine(16).NewHasher(8, rng.New(7))
+	if g1.Key(s) != g2.Key(s) {
+		t.Error("simhash hasher not deterministic under equal seed")
+	}
+}
+
+func TestBitSamplingKeyIgnoresUnsampledBits(t *testing.T) {
+	fam := NewBitSampling(256)
+	h := fam.NewHasher(12, rng.New(9)).(*BitSamplingHasher)
+	sampled := make(map[int]bool)
+	for _, b := range h.Bits() {
+		sampled[b] = true
+	}
+	x := vector.NewBinary(256)
+	base := h.Key(x)
+	for i := 0; i < 256; i++ {
+		if sampled[i] {
+			continue
+		}
+		x.FlipBit(i)
+		if h.Key(x) != base {
+			t.Fatalf("flipping unsampled bit %d changed the key", i)
+		}
+		x.FlipBit(i)
+	}
+	// Flipping a sampled bit must change the key.
+	x.FlipBit(h.Bits()[0])
+	if h.Key(x) == base {
+		t.Fatal("flipping a sampled bit left the key unchanged")
+	}
+}
+
+func TestKeyFromBitsMatchesKey(t *testing.T) {
+	fam := NewBitSampling(128)
+	r := rng.New(10)
+	for _, k := range []int{1, 7, 63, 64, 65, 100} {
+		h := fam.NewHasher(k, r).(*BitSamplingHasher)
+		x := vector.NewBinary(128)
+		for i := 0; i < 128; i += 3 {
+			x.SetBit(i, true)
+		}
+		values := make([]bool, k)
+		for i, b := range h.Bits() {
+			values[i] = x.Bit(b)
+		}
+		if h.KeyFromBits(values) != h.Key(x) {
+			t.Fatalf("k=%d: KeyFromBits disagrees with Key", k)
+		}
+	}
+}
+
+func TestPStablePartsConsistentWithKey(t *testing.T) {
+	fam := NewPStableL2(8, 2.5)
+	h := fam.NewPStableHasher(5, rng.New(11))
+	x := vector.Dense{0.3, -1, 2, 0, 0.5, 7, -2, 0.1}
+	parts := h.Parts(x, nil)
+	if len(parts) != 5 {
+		t.Fatalf("Parts len = %d", len(parts))
+	}
+	if KeyFromParts(parts) != h.Key(x) {
+		t.Fatal("KeyFromParts(Parts(x)) != Key(x)")
+	}
+	p2, res := h.PartsAndResiduals(x)
+	for i := range parts {
+		if parts[i] != p2[i] {
+			t.Fatal("PartsAndResiduals disagrees with Parts")
+		}
+		if res[i] < 0 || res[i] >= 1 {
+			t.Fatalf("residual %v outside [0,1)", res[i])
+		}
+	}
+}
+
+func TestPStableShiftByWChangesPartByOne(t *testing.T) {
+	// Moving a point by exactly w along a projection direction must shift
+	// that slot index by one — the property multi-probe perturbation uses.
+	fam := NewPStableL2(4, 3)
+	h := fam.NewPStableHasher(1, rng.New(12))
+	x := vector.Dense{1, 2, 3, 4}
+	p0 := h.Parts(x, nil)[0]
+	// Find the projection vector by probing unit vectors.
+	a := make(vector.Dense, 4)
+	for j := range a {
+		e := make(vector.Dense, 4)
+		e[j] = 1
+		// difference of projections recovers a_j up to float error
+		a[j] = float32(projDelta(h, x, e))
+	}
+	norm2 := a.Dot(a)
+	// Move along a by w/‖a‖² so the projection moves by exactly w.
+	y := x.Clone()
+	for j := range y {
+		y[j] += float32(3 / norm2 * float64(a[j]))
+	}
+	p1 := h.Parts(y, nil)[0]
+	if p1 != p0+1 {
+		t.Fatalf("slot moved %d -> %d, want +1", p0, p1)
+	}
+}
+
+// projDelta estimates ⟨a, e⟩ for the hasher's single projection via finite
+// differences on the un-floored projection value.
+func projDelta(h *PStableHasher, x, e vector.Dense) float64 {
+	_, r0 := h.PartsAndResiduals(x)
+	y := x.Clone()
+	const eps = 1e-3
+	for j := range y {
+		y[j] += e[j] * eps
+	}
+	p0, _ := h.PartsAndResiduals(x)
+	p1, r1 := h.PartsAndResiduals(y)
+	return ((float64(p1[0]) + r1[0]) - (float64(p0[0]) + r0[0])) * h.W() / eps
+}
+
+func TestMinHashEmptySetStable(t *testing.T) {
+	fam := NewMinHash(64)
+	h := fam.NewHasher(4, rng.New(13))
+	a, b := vector.NewBinary(64), vector.NewBinary(64)
+	if h.Key(a) != h.Key(b) {
+		t.Fatal("two empty sets hash differently")
+	}
+	c := vector.NewBinary(64)
+	c.SetBit(1, true)
+	if h.Key(a) == h.Key(c) {
+		t.Fatal("empty and non-empty set collide")
+	}
+}
+
+func TestFingerprintPreservesAngle(t *testing.T) {
+	// E[Hamming(F(x), F(y))] = bits · θ/π; check within sampling noise.
+	const dim, bitsN = 30, 1024
+	r := rng.New(14)
+	x := make(vector.Dense, dim)
+	for i := range x {
+		x[i] = float32(r.Normal())
+	}
+	// y at a known angle from x.
+	theta := math.Pi / 4
+	y := rotateTowardRandom(x, theta, r)
+	fp := NewFingerprinter(dim, bitsN, 99)
+	fx, fy := fp.Fingerprint(x), fp.Fingerprint(y)
+	got := float64(vector.Hamming(fx, fy))
+	want := bitsN * theta / math.Pi
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Errorf("fingerprint Hamming = %v, want ≈ %v", got, want)
+	}
+	// One-shot helper must agree with the precomputed version under equal
+	// seeds only in distribution; just check dimensions here.
+	one := Fingerprint(x, 64, 1)
+	if one.Dim != 64 {
+		t.Fatalf("Fingerprint dim = %d", one.Dim)
+	}
+}
+
+// rotateTowardRandom returns a vector at angle theta from x, obtained by
+// mixing x with a random direction orthogonalized against x.
+func rotateTowardRandom(x vector.Dense, theta float64, r *rng.Rand) vector.Dense {
+	u := x.Clone().Normalize()
+	v := make(vector.Dense, len(x))
+	for i := range v {
+		v[i] = float32(r.Normal())
+	}
+	// Gram–Schmidt: v ⟂ u.
+	d := v.Dot(u)
+	for i := range v {
+		v[i] -= float32(d * float64(u[i]))
+	}
+	v.Normalize()
+	out := make(vector.Dense, len(x))
+	for i := range out {
+		out[i] = float32(math.Cos(theta)*float64(u[i]) + math.Sin(theta)*float64(v[i]))
+	}
+	return out
+}
+
+func TestFamilyConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBitSampling(0) },
+		func() { NewSimHashCosine(0) },
+		func() { NewPStableL1(0, 1) },
+		func() { NewPStableL2(4, 0) },
+		func() { NewPStableL2(4, math.NaN()) },
+		func() { NewMinHash(0) },
+		func() { NewBitSampling(8).NewHasher(0, rng.New(1)) },
+		func() { NewMinHash(8).NewHasher(0, rng.New(1)) },
+		func() { NewSimHashCosine(8).NewHasher(0, rng.New(1)) },
+		func() { NewPStableL2(8, 1).NewHasher(0, rng.New(1)) },
+		func() { Fingerprint(vector.Dense{1}, 0, 1) },
+		func() { NewFingerprinter(0, 8, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,165 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashutil"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+// PStable is the p-stable projection family of Datar, Immorlica, Indyk and
+// Mirrokni (SoCG 2004): a base function is
+//
+//	h(v) = ⌊(⟨a, v⟩ + b) / w⌋
+//
+// with a drawn coordinate-wise from a p-stable distribution — Cauchy for
+// p = 1 (L1 distance) or Gaussian for p = 2 (L2 distance) — and b uniform
+// in [0, w). The paper uses Cauchy with k = 8, w = 4r on CoverType and
+// Gaussian with k = 7, w = 2r on Corel.
+type PStable struct {
+	dim    int
+	w      float64
+	cauchy bool
+}
+
+// NewPStableL1 returns the 1-stable (Cauchy) family for L1 distance with
+// slot width w.
+func NewPStableL1(dim int, w float64) *PStable {
+	return newPStable(dim, w, true)
+}
+
+// NewPStableL2 returns the 2-stable (Gaussian) family for L2 distance with
+// slot width w.
+func NewPStableL2(dim int, w float64) *PStable {
+	return newPStable(dim, w, false)
+}
+
+func newPStable(dim int, w float64, cauchy bool) *PStable {
+	if dim <= 0 {
+		panic(fmt.Sprintf("lsh: NewPStable dim = %d", dim))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("lsh: NewPStable w = %v", w))
+	}
+	return &PStable{dim: dim, w: w, cauchy: cauchy}
+}
+
+// Name implements Family.
+func (f *PStable) Name() string {
+	if f.cauchy {
+		return "pstable-l1"
+	}
+	return "pstable-l2"
+}
+
+// W returns the slot width.
+func (f *PStable) W() float64 { return f.w }
+
+// CollisionProb implements Family using the closed forms of Datar et al.
+//
+// For distance c and t = w/c:
+//
+//	L2 (Gaussian): p = 1 − 2Φ(−t) − (2/(√(2π)·t))·(1 − e^{−t²/2})
+//	L1 (Cauchy):   p = (2/π)·arctan(t) − (1/(π·t))·ln(1 + t²)
+//
+// Both tend to 1 as c → 0 and to 0 as c → ∞.
+func (f *PStable) CollisionProb(dist float64) float64 {
+	if dist <= 0 {
+		return 1
+	}
+	t := f.w / dist
+	var p float64
+	if f.cauchy {
+		p = 2*math.Atan(t)/math.Pi - math.Log(1+t*t)/(math.Pi*t)
+	} else {
+		p = 1 - 2*normalCDF(-t) - 2/(math.Sqrt(2*math.Pi)*t)*(1-math.Exp(-t*t/2))
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NewHasher implements Family.
+func (f *PStable) NewHasher(k int, r *rng.Rand) Hasher[vector.Dense] {
+	return f.NewPStableHasher(k, r)
+}
+
+// NewPStableHasher returns the concrete hasher type, which additionally
+// exposes the per-function slot values and boundary residuals needed by
+// query-directed multi-probe LSH.
+func (f *PStable) NewPStableHasher(k int, r *rng.Rand) *PStableHasher {
+	if k < 1 {
+		panic(fmt.Sprintf("lsh: NewHasher k = %d", k))
+	}
+	h := &PStableHasher{w: f.w, a: make([]vector.Dense, k), b: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		a := make(vector.Dense, f.dim)
+		for j := range a {
+			if f.cauchy {
+				a[j] = float32(r.Cauchy())
+			} else {
+				a[j] = float32(r.Normal())
+			}
+		}
+		h.a[i] = a
+		h.b[i] = r.Float64() * f.w
+	}
+	return h
+}
+
+// PStableHasher is one g-function of the p-stable family.
+type PStableHasher struct {
+	w float64
+	a []vector.Dense
+	b []float64
+}
+
+// K implements Hasher.
+func (h *PStableHasher) K() int { return len(h.a) }
+
+// W returns the slot width.
+func (h *PStableHasher) W() float64 { return h.w }
+
+// Parts appends the k slot indices h_i(p) to dst and returns it. The bucket
+// key is HashInts of exactly these values, so probing code can perturb a
+// slot index and re-derive the neighboring key.
+func (h *PStableHasher) Parts(p vector.Dense, dst []int64) []int64 {
+	for i, a := range h.a {
+		dst = append(dst, int64(math.Floor((a.Dot(p)+h.b[i])/h.w)))
+	}
+	return dst
+}
+
+// PartsAndResiduals returns the slot indices and, for each function, the
+// distance x_i(−1) from the projection to the lower slot boundary, as a
+// fraction of w in (0, 1). The distance to the upper boundary is
+// 1 − residual. Query-directed multi-probe LSH scores perturbations by
+// these residuals (Lv et al., VLDB 2007).
+func (h *PStableHasher) PartsAndResiduals(p vector.Dense) (parts []int64, residuals []float64) {
+	parts = make([]int64, len(h.a))
+	residuals = make([]float64, len(h.a))
+	for i, a := range h.a {
+		x := (a.Dot(p) + h.b[i]) / h.w
+		fl := math.Floor(x)
+		parts[i] = int64(fl)
+		residuals[i] = x - fl
+	}
+	return parts, residuals
+}
+
+// Key implements Hasher.
+func (h *PStableHasher) Key(p vector.Dense) uint64 {
+	var buf [16]int64
+	parts := h.Parts(p, buf[:0])
+	return hashutil.HashInts(parts)
+}
+
+// KeyFromParts folds externally computed (possibly perturbed) slot indices
+// into a bucket key, matching Key for unperturbed parts.
+func KeyFromParts(parts []int64) uint64 { return hashutil.HashInts(parts) }

@@ -1,0 +1,270 @@
+package lsh
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/hll"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+// randomBinaries returns n random dim-bit vectors.
+func randomBinaries(n, dim int, seed uint64) []vector.Binary {
+	r := rng.New(seed)
+	pts := make([]vector.Binary, n)
+	for i := range pts {
+		b := vector.NewBinary(dim)
+		for j := 0; j < dim; j++ {
+			b.SetBit(j, r.Float64() < 0.5)
+		}
+		pts[i] = b
+	}
+	return pts
+}
+
+func mustBuild(t *testing.T, pts []vector.Binary, p Params) *Tables[vector.Binary] {
+	t.Helper()
+	tb, err := Build(pts, NewBitSampling(pts[0].Dim), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestBuildValidation(t *testing.T) {
+	pts := randomBinaries(10, 64, 1)
+	fam := NewBitSampling(64)
+	cases := []Params{
+		{K: 0, L: 5, HLLRegisters: 32},
+		{K: 4, L: 0, HLLRegisters: 32},
+		{K: 4, L: 5, HLLRegisters: 0},
+		{K: 4, L: 5, HLLRegisters: 33},
+		{K: 4, L: 5, HLLRegisters: 32, HLLThreshold: -1},
+	}
+	for i, p := range cases {
+		if _, err := Build(pts, fam, p); err == nil {
+			t.Errorf("case %d: Build accepted invalid params %+v", i, p)
+		}
+	}
+	if _, err := Build(nil, fam, Params{K: 4, L: 5, HLLRegisters: 32}); err == nil {
+		t.Error("Build accepted empty point set")
+	}
+}
+
+func TestBuildBucketSizesSumToNL(t *testing.T) {
+	const n, L = 500, 7
+	pts := randomBinaries(n, 64, 2)
+	tb := mustBuild(t, pts, Params{K: 4, L: L, HLLRegisters: 32, Seed: 1})
+	total := 0
+	for j := 0; j < tb.L(); j++ {
+		for _, b := range tb.Table(j).Buckets {
+			total += len(b.IDs)
+		}
+	}
+	if total != n*L {
+		t.Fatalf("total bucket entries = %d, want %d", total, n*L)
+	}
+}
+
+func TestLookupFindsOwnBucket(t *testing.T) {
+	// Querying with an indexed point must find it in every table.
+	pts := randomBinaries(200, 64, 3)
+	tb := mustBuild(t, pts, Params{K: 6, L: 10, HLLRegisters: 32, Seed: 2})
+	for qi := 0; qi < 20; qi++ {
+		bs := tb.Lookup(pts[qi])
+		if len(bs) != 10 {
+			t.Fatalf("point %d found in %d/10 of its own buckets", qi, len(bs))
+		}
+		for _, b := range bs {
+			found := false
+			for _, id := range b.IDs {
+				if int(id) == qi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("point %d missing from its own bucket", qi)
+			}
+		}
+	}
+}
+
+func TestCollisionsMatchesBruteForce(t *testing.T) {
+	pts := randomBinaries(300, 64, 4)
+	tb := mustBuild(t, pts, Params{K: 3, L: 8, HLLRegisters: 32, Seed: 3})
+	q := pts[0]
+	bs := tb.Lookup(q)
+	want := 0
+	for j := 0; j < tb.L(); j++ {
+		tab := tb.Table(j)
+		key := tab.Hasher.Key(q)
+		for i, p := range pts {
+			if tab.Hasher.Key(p) == key {
+				want++
+			}
+			_ = i
+		}
+	}
+	if got := Collisions(bs); got != want {
+		t.Fatalf("Collisions = %d, brute force = %d", got, want)
+	}
+}
+
+func TestEstimateCandidatesAccuracy(t *testing.T) {
+	// The HLL estimate of the distinct candidate count must be within a
+	// few standard errors of the true distinct count.
+	pts := randomBinaries(5000, 64, 5)
+	tb := mustBuild(t, pts, Params{K: 2, L: 20, HLLRegisters: 128, Seed: 4})
+	scratch := hll.New(128)
+	for qi := 0; qi < 10; qi++ {
+		q := pts[qi*13]
+		bs := tb.Lookup(q)
+		est := tb.EstimateCandidates(bs, scratch)
+		truth := trueDistinct(bs)
+		if truth == 0 {
+			t.Fatal("query found no candidates; test setup broken")
+		}
+		rel := math.Abs(est-float64(truth)) / float64(truth)
+		if rel > 0.30 {
+			t.Errorf("query %d: estimate %v vs truth %d (rel err %v)", qi, est, truth, rel)
+		}
+	}
+}
+
+func trueDistinct(bs []*Bucket) int {
+	seen := make(map[int32]bool)
+	for _, b := range bs {
+		for _, id := range b.IDs {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}
+
+func TestEstimateCandidatesNilScratchAllocates(t *testing.T) {
+	pts := randomBinaries(100, 64, 6)
+	tb := mustBuild(t, pts, Params{K: 2, L: 4, HLLRegisters: 32, Seed: 5})
+	bs := tb.Lookup(pts[0])
+	if est := tb.EstimateCandidates(bs, nil); est <= 0 {
+		t.Fatalf("estimate = %v, want > 0", est)
+	}
+}
+
+func TestEstimateCandidatesEmptyLookup(t *testing.T) {
+	pts := randomBinaries(50, 64, 7)
+	tb := mustBuild(t, pts, Params{K: 2, L: 4, HLLRegisters: 32, Seed: 6})
+	if est := tb.EstimateCandidates(nil, nil); est != 0 {
+		t.Fatalf("estimate over no buckets = %v, want 0", est)
+	}
+}
+
+func TestHLLThresholdControlsSketching(t *testing.T) {
+	// With threshold 1 every bucket is sketched; with a huge threshold
+	// none are. Estimates must agree either way (on-demand trick).
+	pts := randomBinaries(1000, 64, 8)
+	all := mustBuild(t, pts, Params{K: 2, L: 6, HLLRegisters: 64, HLLThreshold: 1, Seed: 7})
+	none := mustBuild(t, pts, Params{K: 2, L: 6, HLLRegisters: 64, HLLThreshold: 1 << 30, Seed: 7})
+
+	sAll, sNone := all.Stats(), none.Stats()
+	if sAll.SketchedBuckets != sAll.Buckets {
+		t.Fatalf("threshold 1: %d/%d buckets sketched", sAll.SketchedBuckets, sAll.Buckets)
+	}
+	if sNone.SketchedBuckets != 0 {
+		t.Fatalf("huge threshold: %d buckets sketched", sNone.SketchedBuckets)
+	}
+
+	for qi := 0; qi < 10; qi++ {
+		q := pts[qi*7]
+		estAll := all.EstimateCandidates(all.Lookup(q), nil)
+		estNone := none.EstimateCandidates(none.Lookup(q), nil)
+		if math.Abs(estAll-estNone) > 1e-9 {
+			t.Fatalf("on-demand estimate %v differs from pre-built %v", estNone, estAll)
+		}
+	}
+}
+
+func TestDefaultThresholdIsM(t *testing.T) {
+	pts := randomBinaries(2000, 64, 9)
+	tb := mustBuild(t, pts, Params{K: 1, L: 3, HLLRegisters: 64, Seed: 8})
+	for j := 0; j < tb.L(); j++ {
+		for _, b := range tb.Table(j).Buckets {
+			if len(b.IDs) >= 64 && b.Sketch == nil {
+				t.Fatal("large bucket missing sketch")
+			}
+			if len(b.IDs) < 64 && b.Sketch != nil {
+				t.Fatal("small bucket carries sketch despite default threshold")
+			}
+		}
+	}
+}
+
+func TestBuildDeterministicAcrossRuns(t *testing.T) {
+	pts := randomBinaries(300, 64, 10)
+	p := Params{K: 4, L: 6, HLLRegisters: 32, Seed: 11}
+	a := mustBuild(t, pts, p)
+	b := mustBuild(t, pts, p)
+	q := pts[42]
+	ba, bb := a.Lookup(q), b.Lookup(q)
+	if len(ba) != len(bb) {
+		t.Fatalf("lookup sizes differ: %d vs %d (parallel build nondeterminism?)", len(ba), len(bb))
+	}
+	for i := range ba {
+		if len(ba[i].IDs) != len(bb[i].IDs) {
+			t.Fatal("bucket contents differ across identical builds")
+		}
+		for j := range ba[i].IDs {
+			if ba[i].IDs[j] != bb[i].IDs[j] {
+				t.Fatal("bucket id order differs across identical builds")
+			}
+		}
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	pts := randomBinaries(500, 64, 12)
+	tb := mustBuild(t, pts, Params{K: 3, L: 8, HLLRegisters: 64, Seed: 13})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := hll.New(64)
+			for i := 0; i < 100; i++ {
+				q := pts[(w*100+i)%len(pts)]
+				bs := tb.Lookup(q)
+				_ = Collisions(bs)
+				_ = tb.EstimateCandidates(bs, scratch)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestStats(t *testing.T) {
+	pts := randomBinaries(400, 64, 14)
+	tb := mustBuild(t, pts, Params{K: 2, L: 5, HLLRegisters: 32, Seed: 15})
+	s := tb.Stats()
+	if s.Tables != 5 || s.Points != 400 {
+		t.Fatalf("Stats basic fields wrong: %+v", s)
+	}
+	if s.Buckets == 0 || s.MaxBucket == 0 || s.AvgBucket <= 0 {
+		t.Fatalf("Stats sizes wrong: %+v", s)
+	}
+	if s.SketchBytes != s.SketchedBuckets*32 {
+		t.Fatalf("SketchBytes = %d, want %d", s.SketchBytes, s.SketchedBuckets*32)
+	}
+}
+
+func TestNAndParams(t *testing.T) {
+	pts := randomBinaries(64, 64, 16)
+	tb := mustBuild(t, pts, Params{K: 2, L: 3, HLLRegisters: 32, Seed: 17})
+	if tb.N() != 64 {
+		t.Fatalf("N = %d", tb.N())
+	}
+	if got := tb.Params().HLLThreshold; got != 32 {
+		t.Fatalf("default threshold = %d, want m", got)
+	}
+}

@@ -1,0 +1,132 @@
+package multiprobe
+
+import (
+	"testing"
+
+	"repro/internal/lsh"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+func randomBinary(dim int, r *rng.Rand) vector.Binary {
+	b := vector.NewBinary(dim)
+	for j := 0; j < dim; j++ {
+		b.SetBit(j, r.Float64() < 0.5)
+	}
+	return b
+}
+
+func TestHammingProbeKeysProperties(t *testing.T) {
+	r := rng.New(81)
+	fam := lsh.NewBitSampling(64)
+	h := fam.NewHasher(6, r).(*lsh.BitSamplingHasher)
+	q := randomBinary(64, r)
+	for _, tn := range []int{0, 1, 6, 21, 41, 100} {
+		keys := HammingProbeKeys(h, q, tn)
+		if keys[0] != h.Key(q) {
+			t.Fatalf("t=%d: first key not home bucket", tn)
+		}
+		seen := make(map[uint64]bool)
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("t=%d: duplicate key", tn)
+			}
+			seen[k] = true
+		}
+		// Maximum distinct codes for k=6 is 2^6 = 64 (home + 63 flips).
+		if len(keys) > 64 {
+			t.Fatalf("t=%d: %d keys exceed the code space", tn, len(keys))
+		}
+		if tn <= 62 && len(keys) != tn+1 {
+			t.Fatalf("t=%d: got %d keys, want %d", tn, len(keys), tn+1)
+		}
+	}
+}
+
+func TestHammingProbeKeysWeightOrder(t *testing.T) {
+	// The first k probes after the home bucket must be the k single-bit
+	// flips (weight-1 perturbations of the code).
+	r := rng.New(82)
+	fam := lsh.NewBitSampling(64)
+	const k = 5
+	h := fam.NewHasher(k, r).(*lsh.BitSamplingHasher)
+	q := randomBinary(64, r)
+	keys := HammingProbeKeys(h, q, k)
+	values := make([]bool, k)
+	for i, b := range h.Bits() {
+		values[i] = q.Bit(b)
+	}
+	want := make(map[uint64]bool)
+	for i := 0; i < k; i++ {
+		flipped := append([]bool(nil), values...)
+		flipped[i] = !flipped[i]
+		want[h.KeyFromBits(flipped)] = true
+	}
+	for _, key := range keys[1:] {
+		if !want[key] {
+			t.Fatal("probe within first k is not a single-bit flip")
+		}
+	}
+}
+
+func TestHammingProbesImproveRecall(t *testing.T) {
+	// With deliberately selective parameters (large k, few tables),
+	// probing must recover neighbors plain lookup misses.
+	r := rng.New(83)
+	const dim, n = 64, 3000
+	pts := make([]vector.Binary, n)
+	center := randomBinary(dim, r)
+	for i := 0; i < 500; i++ {
+		p := center.Clone()
+		for _, b := range r.Sample(dim, 1+r.Intn(6)) {
+			p.FlipBit(b)
+		}
+		pts[i] = p
+	}
+	for i := 500; i < n; i++ {
+		pts[i] = randomBinary(dim, r)
+	}
+	tables, err := lsh.Build(pts, lsh.NewBitSampling(dim), lsh.Params{
+		K: 16, L: 4, HLLRegisters: 64, Seed: 84,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := distinctFound(t, tables, center, 0)
+	probed := distinctFound(t, tables, center, 40)
+	if probed <= plain {
+		t.Fatalf("probing found %d candidates, plain lookup %d", probed, plain)
+	}
+}
+
+func distinctFound(t *testing.T, tables *lsh.Tables[vector.Binary], q vector.Binary, probes int) int {
+	t.Helper()
+	bs, err := HammingLookup(tables, q, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int32]bool)
+	for _, b := range bs {
+		for _, id := range b.IDs {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}
+
+func TestHammingLookupWrongFamily(t *testing.T) {
+	r := rng.New(85)
+	pts := make([]vector.Binary, 50)
+	for i := range pts {
+		pts[i] = randomBinary(128, r)
+	}
+	tables, err := lsh.Build(pts, lsh.NewMinHash(128), lsh.Params{
+		K: 2, L: 3, HLLRegisters: 32, Seed: 86,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HammingLookup(tables, pts[0], 5); err == nil {
+		t.Fatal("MinHash tables accepted by HammingLookup")
+	}
+}

@@ -1,0 +1,361 @@
+// Package multiprobe implements query-directed multi-probe LSH (Lv,
+// Josephson, Wang, Charikar, Li — VLDB 2007) for the p-stable families,
+// with the paper's hybrid search strategy on top — the first of the two
+// future-work combinations Section 5 of the Hybrid-LSH paper names
+// ("our hybrid search fits well with the multi-probe LSH schemes […] which
+// typically require a large number of probes").
+//
+// Multi-probe LSH examines, besides the query's home bucket, the T
+// neighboring buckets most likely to hold near points: perturbing slot
+// index i by δ ∈ {−1, +1} costs the squared distance from the query's
+// projection to that slot boundary, and perturbation sets are enumerated
+// in increasing total cost with the standard shift/expand heap. Fewer
+// tables then achieve the same recall, at the price of more probed buckets
+// per table — which makes candSize estimation (and hence the hybrid
+// decision) even more valuable, because #collisions grows with T while the
+// distinct candidate count saturates.
+package multiprobe
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/hll"
+	"repro/internal/lsh"
+	"repro/internal/vector"
+)
+
+// Config configures a multi-probe hybrid index.
+type Config struct {
+	// Family is the p-stable family (L1 or L2) to use.
+	Family *lsh.PStable
+	// Distance is the matching metric.
+	Distance distance.Func[vector.Dense]
+	// Radius is the reporting radius.
+	Radius float64
+	// K is the concatenation length (the multi-probe regime uses larger k
+	// and fewer tables than classic LSH).
+	K int
+	// L is the number of tables (default 10; multi-probe's point is that
+	// it needs far fewer than the classic 50).
+	L int
+	// Probes is T, the number of extra buckets probed per table beyond
+	// the home bucket (default 10).
+	Probes int
+	// HLLRegisters is m (default 128).
+	HLLRegisters int
+	// Cost is the cost model (default core.DefaultCostModel).
+	Cost core.CostModel
+	// Seed fixes construction randomness.
+	Seed uint64
+}
+
+// Index is a multi-probe LSH structure with per-bucket HLL sketches and
+// hybrid query answering. It is safe for concurrent queries.
+type Index struct {
+	points  []vector.Dense
+	dist    distance.Func[vector.Dense]
+	radius  float64
+	probes  int
+	cost    core.CostModel
+	tables  *lsh.Tables[vector.Dense]
+	hashers []*lsh.PStableHasher
+	states  sync.Pool
+}
+
+// New builds the index. It returns an error on invalid configuration.
+func New(points []vector.Dense, cfg Config) (*Index, error) {
+	if cfg.Family == nil {
+		return nil, fmt.Errorf("multiprobe: Config.Family is nil")
+	}
+	if cfg.Distance == nil {
+		return nil, fmt.Errorf("multiprobe: Config.Distance is nil")
+	}
+	if cfg.Radius <= 0 {
+		return nil, fmt.Errorf("multiprobe: Config.Radius = %v, want > 0", cfg.Radius)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("multiprobe: Config.K = %d, want >= 1", cfg.K)
+	}
+	if cfg.L == 0 {
+		cfg.L = 10
+	}
+	if cfg.Probes == 0 {
+		cfg.Probes = 10
+	}
+	if cfg.Probes < 0 {
+		return nil, fmt.Errorf("multiprobe: Config.Probes = %d, want >= 0", cfg.Probes)
+	}
+	if cfg.HLLRegisters == 0 {
+		cfg.HLLRegisters = 128
+	}
+	if cfg.Cost == (core.CostModel{}) {
+		cfg.Cost = core.DefaultCostModel
+	}
+	tables, err := lsh.Build(points, cfg.Family, lsh.Params{
+		K:            cfg.K,
+		L:            cfg.L,
+		HLLRegisters: cfg.HLLRegisters,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		points: points,
+		dist:   cfg.Distance,
+		radius: cfg.Radius,
+		probes: cfg.Probes,
+		cost:   cfg.Cost,
+		tables: tables,
+	}
+	ix.hashers = make([]*lsh.PStableHasher, cfg.L)
+	for j := 0; j < cfg.L; j++ {
+		h, ok := tables.Table(j).Hasher.(*lsh.PStableHasher)
+		if !ok {
+			return nil, fmt.Errorf("multiprobe: table %d hasher is %T, want *lsh.PStableHasher", j, tables.Table(j).Hasher)
+		}
+		ix.hashers[j] = h
+	}
+	n := len(points)
+	m := cfg.HLLRegisters
+	ix.states.New = func() any {
+		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
+	}
+	return ix, nil
+}
+
+type queryState struct {
+	visited []uint32
+	gen     uint32
+	sketch  *hll.Sketch
+}
+
+// N returns the number of indexed points.
+func (ix *Index) N() int { return len(ix.points) }
+
+// Probes returns T, the extra probes per table.
+func (ix *Index) Probes() int { return ix.probes }
+
+// Lookup returns the home and probe buckets of q across all tables.
+func (ix *Index) Lookup(q vector.Dense) []*lsh.Bucket {
+	var out []*lsh.Bucket
+	for j, h := range ix.hashers {
+		keys := ProbeKeys(h, q, ix.probes)
+		buckets := ix.tables.Table(j).Buckets
+		for _, key := range keys {
+			if b := buckets[key]; b != nil {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// Query answers one rNNR query with the hybrid strategy over the
+// multi-probe bucket set: Algorithm 2 with #collisions and candSize taken
+// over the (T+1)·L probed buckets.
+func (ix *Index) Query(q vector.Dense) ([]int32, core.QueryStats) {
+	st := ix.states.Get().(*queryState)
+	defer ix.states.Put(st)
+
+	var stats core.QueryStats
+	t0 := time.Now()
+	buckets := ix.Lookup(q)
+	stats.Collisions = lsh.Collisions(buckets)
+	stats.LinearCost = ix.cost.LinearCost(len(ix.points))
+	if upper := ix.cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
+		stats.Strategy = core.StrategyLSH
+		stats.EstCandidates = float64(stats.Collisions)
+		stats.LSHCost = upper
+	} else if lower := ix.cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
+		stats.Strategy = core.StrategyLinear
+		stats.EstCandidates = float64(stats.Collisions)
+		stats.LSHCost = lower
+	} else {
+		stats.Estimated = true
+		stats.EstCandidates = ix.tables.EstimateCandidates(buckets, st.sketch)
+		stats.LSHCost = ix.cost.LSHCost(stats.Collisions, stats.EstCandidates)
+		if stats.LSHCost < stats.LinearCost {
+			stats.Strategy = core.StrategyLSH
+		} else {
+			stats.Strategy = core.StrategyLinear
+		}
+	}
+	stats.EstimateTime = time.Since(t0)
+
+	t1 := time.Now()
+	var out []int32
+	if stats.Strategy == core.StrategyLSH {
+		out = ix.searchBuckets(q, buckets, st, &stats)
+	} else {
+		out = ix.searchLinear(q, &stats)
+	}
+	stats.SearchTime = time.Since(t1)
+	return out, stats
+}
+
+// QueryLSH forces multi-probe LSH search without the hybrid decision.
+func (ix *Index) QueryLSH(q vector.Dense) ([]int32, core.QueryStats) {
+	st := ix.states.Get().(*queryState)
+	defer ix.states.Put(st)
+	var stats core.QueryStats
+	stats.Strategy = core.StrategyLSH
+	t0 := time.Now()
+	buckets := ix.Lookup(q)
+	stats.Collisions = lsh.Collisions(buckets)
+	out := ix.searchBuckets(q, buckets, st, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+// QueryLinear forces the exact linear scan.
+func (ix *Index) QueryLinear(q vector.Dense) ([]int32, core.QueryStats) {
+	var stats core.QueryStats
+	stats.Strategy = core.StrategyLinear
+	t0 := time.Now()
+	out := ix.searchLinear(q, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+func (ix *Index) searchBuckets(q vector.Dense, buckets []*lsh.Bucket, st *queryState, stats *core.QueryStats) []int32 {
+	st.gen++
+	if st.gen == 0 {
+		clear(st.visited)
+		st.gen = 1
+	}
+	gen := st.gen
+	var out []int32
+	for _, b := range buckets {
+		for _, id := range b.IDs {
+			if st.visited[id] == gen {
+				continue
+			}
+			st.visited[id] = gen
+			stats.Candidates++
+			if ix.dist(ix.points[id], q) <= ix.radius {
+				out = append(out, id)
+			}
+		}
+	}
+	stats.Results = len(out)
+	return out
+}
+
+func (ix *Index) searchLinear(q vector.Dense, stats *core.QueryStats) []int32 {
+	var out []int32
+	for i := range ix.points {
+		if ix.dist(ix.points[i], q) <= ix.radius {
+			out = append(out, int32(i))
+		}
+	}
+	stats.Candidates = len(ix.points)
+	stats.Results = len(out)
+	return out
+}
+
+// --- perturbation-sequence generation (Lv et al., Section 4.3) ---
+
+// perturbation is one (function index, δ) pair with its cost: the squared
+// distance from the query's projection to the slot boundary crossed.
+type perturbation struct {
+	fn    int
+	delta int64
+	cost  float64
+}
+
+// probeSet is a set of sorted-perturbation indices with its total cost;
+// the heap orders sets by cost.
+type probeSet struct {
+	idx  []int // indices into the sorted perturbation array, ascending
+	cost float64
+}
+
+type setHeap []probeSet
+
+func (h setHeap) Len() int           { return len(h) }
+func (h setHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h setHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *setHeap) Push(x any)        { *h = append(*h, x.(probeSet)) }
+func (h *setHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ProbeKeys returns the bucket keys probed for q in one table: the home
+// bucket first, then up to t perturbed buckets in increasing estimated
+// cost, generated with the shift/expand enumeration over the 2k single
+// perturbations.
+func ProbeKeys(h *lsh.PStableHasher, q vector.Dense, t int) []uint64 {
+	parts, resid := h.PartsAndResiduals(q)
+	keys := make([]uint64, 0, t+1)
+	keys = append(keys, lsh.KeyFromParts(parts))
+	if t == 0 {
+		return keys
+	}
+
+	w := h.W()
+	k := len(parts)
+	perts := make([]perturbation, 0, 2*k)
+	for i := 0; i < k; i++ {
+		// δ = −1 crosses the lower boundary (distance resid·w), δ = +1
+		// the upper one (distance (1−resid)·w).
+		lo := resid[i] * w
+		hi := (1 - resid[i]) * w
+		perts = append(perts,
+			perturbation{fn: i, delta: -1, cost: lo * lo},
+			perturbation{fn: i, delta: +1, cost: hi * hi},
+		)
+	}
+	sort.Slice(perts, func(a, b int) bool { return perts[a].cost < perts[b].cost })
+
+	var hp setHeap
+	heap.Push(&hp, probeSet{idx: []int{0}, cost: perts[0].cost})
+	scratch := make([]int64, k)
+	for len(keys) < t+1 && hp.Len() > 0 {
+		s := heap.Pop(&hp).(probeSet)
+		top := s.idx[len(s.idx)-1]
+		// Shift: replace the maximum element with its successor.
+		if top+1 < len(perts) {
+			shift := append(append([]int(nil), s.idx[:len(s.idx)-1]...), top+1)
+			heap.Push(&hp, probeSet{idx: shift, cost: s.cost - perts[top].cost + perts[top+1].cost})
+			// Expand: add the successor on top.
+			expand := append(append([]int(nil), s.idx...), top+1)
+			heap.Push(&hp, probeSet{idx: expand, cost: s.cost + perts[top+1].cost})
+		}
+		if !validSet(s.idx, perts) {
+			continue
+		}
+		copy(scratch, parts)
+		for _, pi := range s.idx {
+			scratch[perts[pi].fn] += perts[pi].delta
+		}
+		keys = append(keys, lsh.KeyFromParts(scratch))
+	}
+	return keys
+}
+
+// validSet rejects sets that perturb the same function twice (the two
+// directions of one h_i are mutually exclusive).
+func validSet(idx []int, perts []perturbation) bool {
+	var seen [64]bool // k ≤ 64 in every regime this package supports
+	for _, pi := range idx {
+		fn := perts[pi].fn
+		if fn < 64 {
+			if seen[fn] {
+				return false
+			}
+			seen[fn] = true
+		} else {
+			for _, pj := range idx {
+				if pj != pi && perts[pj].fn == perts[pi].fn {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

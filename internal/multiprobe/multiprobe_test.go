@@ -1,0 +1,359 @@
+package multiprobe
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/lsh"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+func testConfig(fam *lsh.PStable) Config {
+	return Config{
+		Family:   fam,
+		Distance: distance.L2,
+		Radius:   0.45,
+		K:        10,
+		L:        8,
+		Probes:   12,
+		Seed:     1,
+	}
+}
+
+func corelData(t *testing.T) ([]vector.Dense, []vector.Dense) {
+	t.Helper()
+	ds := dataset.CorelLike(0.01, 3)
+	return dataset.SplitQueries(ds.Points, 15, 4)
+}
+
+func TestNewValidation(t *testing.T) {
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	pts := []vector.Dense{make(vector.Dense, dataset.CorelDim)}
+	cases := []Config{
+		{Distance: distance.L2, Radius: 1, K: 4},        // nil family
+		{Family: fam, Radius: 1, K: 4},                  // nil distance
+		{Family: fam, Distance: distance.L2, K: 4},      // radius 0
+		{Family: fam, Distance: distance.L2, Radius: 1}, // k 0
+		{Family: fam, Distance: distance.L2, Radius: 1, K: 4, Probes: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(pts, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestProbeKeysProperties(t *testing.T) {
+	fam := lsh.NewPStableL2(8, 2)
+	h := fam.NewPStableHasher(5, rng.New(7))
+	q := vector.Dense{0.3, -1, 2, 0.7, 0.1, -0.5, 1.2, 0}
+	for _, tn := range []int{0, 1, 5, 20, 100} {
+		keys := ProbeKeys(h, q, tn)
+		if len(keys) == 0 || keys[0] != h.Key(q) {
+			t.Fatalf("t=%d: first key is not the home bucket", tn)
+		}
+		if len(keys) > tn+1 {
+			t.Fatalf("t=%d: %d keys returned", tn, len(keys))
+		}
+		seen := make(map[uint64]bool)
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("t=%d: duplicate probe key", tn)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestProbeKeysAreNeighborBuckets(t *testing.T) {
+	// Every probe key must correspond to a ±1 perturbation of a subset of
+	// the home slot indices (white-box re-derivation).
+	fam := lsh.NewPStableL2(8, 2)
+	h := fam.NewPStableHasher(4, rng.New(8))
+	q := vector.Dense{1, 2, 3, 4, 5, 6, 7, 8}
+	parts, _ := h.PartsAndResiduals(q)
+	keys := ProbeKeys(h, q, 30)
+
+	// Enumerate all ±1/0 perturbations of the 4 slots (3^4 = 81) and
+	// check every returned key is one of them.
+	valid := make(map[uint64]bool)
+	var walk func(i int, cur []int64)
+	walk = func(i int, cur []int64) {
+		if i == len(parts) {
+			valid[lsh.KeyFromParts(cur)] = true
+			return
+		}
+		for _, d := range []int64{-1, 0, 1} {
+			next := append(append([]int64(nil), cur...), parts[i]+d)
+			walk(i+1, next)
+		}
+	}
+	walk(0, nil)
+	for i, k := range keys {
+		if !valid[k] {
+			t.Fatalf("probe key %d is not a ±1 neighborhood bucket", i)
+		}
+	}
+}
+
+func TestProbeCostsNonDecreasing(t *testing.T) {
+	// The enumeration must emit perturbation sets in non-decreasing score
+	// order; verify via the exported sequence on a fixed query by checking
+	// that recomputed scores are sorted.
+	fam := lsh.NewPStableL2(6, 1.5)
+	h := fam.NewPStableHasher(6, rng.New(9))
+	q := vector.Dense{0.1, 0.9, 0.4, 0.2, 0.7, 0.5}
+	parts, resid := h.PartsAndResiduals(q)
+	keys := ProbeKeys(h, q, 40)
+
+	// Recover each key's perturbation by exhaustive match and score it.
+	type cand struct {
+		key   uint64
+		score float64
+	}
+	var all []cand
+	w := h.W()
+	var walk func(i int, cur []int64, score float64)
+	walk = func(i int, cur []int64, score float64) {
+		if i == len(parts) {
+			all = append(all, cand{lsh.KeyFromParts(cur), score})
+			return
+		}
+		walk(i+1, append(append([]int64(nil), cur...), parts[i]), score)
+		lo := resid[i] * w
+		hi := (1 - resid[i]) * w
+		walk(i+1, append(append([]int64(nil), cur...), parts[i]-1), score+lo*lo)
+		walk(i+1, append(append([]int64(nil), cur...), parts[i]+1), score+hi*hi)
+	}
+	walk(0, nil, 0)
+	scores := make(map[uint64]float64, len(all))
+	for _, c := range all {
+		if s, ok := scores[c.key]; !ok || c.score < s {
+			scores[c.key] = c.score
+		}
+	}
+	prev := -1.0
+	for i, k := range keys[1:] { // skip home bucket (score 0)
+		s, ok := scores[k]
+		if !ok {
+			t.Fatalf("probe %d key not in ±1 neighborhood", i+1)
+		}
+		if s < prev-1e-9 {
+			t.Fatalf("probe %d out of order: score %v after %v", i+1, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestMultiProbeBeatsClassicRecallPerTable(t *testing.T) {
+	// With equal k and L, probing T extra buckets must improve recall.
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	cfgNoProbe := testConfig(fam)
+	cfgNoProbe.Probes = 1 // Probes: 0 means "default 10"; use 1 as near-zero
+	ixFew, err := New(data, cfgNoProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgProbe := testConfig(fam)
+	cfgProbe.Probes = 30
+	ixMany, err := New(data, cfgProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recFew, recMany float64
+	cnt := 0
+	for _, q := range queries {
+		truth := core.GroundTruth(data, distance.L2, q, 0.45)
+		if len(truth) == 0 {
+			continue
+		}
+		cnt++
+		oFew, _ := ixFew.QueryLSH(q)
+		oMany, _ := ixMany.QueryLSH(q)
+		recFew += core.Recall(oFew, truth)
+		recMany += core.Recall(oMany, truth)
+	}
+	if cnt == 0 {
+		t.Fatal("no queries with neighbors")
+	}
+	if recMany < recFew-1e-9 {
+		t.Fatalf("more probes lowered recall: %v -> %v", recFew/float64(cnt), recMany/float64(cnt))
+	}
+	if recMany/float64(cnt) < 0.8 {
+		t.Fatalf("multi-probe recall %v < 0.8 despite 30 probes on 8 tables", recMany/float64(cnt))
+	}
+}
+
+func TestHybridQueryCorrectness(t *testing.T) {
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	ix, err := New(data, testConfig(fam))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		out, stats := ix.Query(q)
+		if stats.Results != len(out) {
+			t.Fatal("stats.Results mismatch")
+		}
+		for _, id := range out {
+			if distance.L2(data[id], q) > 0.45 {
+				t.Fatal("reported point beyond radius")
+			}
+		}
+		seen := make(map[int32]bool)
+		for _, id := range out {
+			if seen[id] {
+				t.Fatal("duplicate id reported")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestHybridFallsBackOnHardQueries(t *testing.T) {
+	// All points nearly identical: every bucket holds everything, so the
+	// hybrid must pick linear search.
+	r := rng.New(11)
+	n := 3000
+	pts := make([]vector.Dense, n)
+	base := make(vector.Dense, 16)
+	for j := range base {
+		base[j] = float32(r.Normal())
+	}
+	for i := range pts {
+		p := base.Clone()
+		p[0] += float32(r.Normal() * 0.001)
+		pts[i] = p
+	}
+	fam := lsh.NewPStableL2(16, 1)
+	ix, err := New(pts, Config{
+		Family: fam, Distance: distance.L2, Radius: 0.5,
+		K: 6, L: 6, Probes: 10, Seed: 2,
+		Cost: core.CostModel{Alpha: 1, Beta: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := ix.Query(base)
+	if stats.Strategy != core.StrategyLinear {
+		t.Fatalf("hard query used %v (collisions %d, est %v, LSHCost %v, LinearCost %v)",
+			stats.Strategy, stats.Collisions, stats.EstCandidates, stats.LSHCost, stats.LinearCost)
+	}
+	if stats.Results != n {
+		t.Fatalf("linear fallback reported %d of %d duplicates", stats.Results, n)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	ix, err := New(data, testConfig(fam))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				ix.Query(queries[i%len(queries)])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFewerTablesWithProbesMatchClassic(t *testing.T) {
+	// The multi-probe pitch: L=8 tables with T=20 probes should reach
+	// within a few points of classic L=50 recall.
+	data, queries := corelData(t)
+	classic, err := core.NewIndex(data, core.Config[vector.Dense]{
+		Family:   lsh.NewPStableL2(dataset.CorelDim, 0.9),
+		Distance: distance.L2,
+		Radius:   0.45,
+		K:        7,
+		L:        50,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := New(data, Config{
+		Family:   lsh.NewPStableL2(dataset.CorelDim, 0.9),
+		Distance: distance.L2,
+		Radius:   0.45,
+		K:        7,
+		L:        8,
+		Probes:   20,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recClassic, recMP float64
+	cnt := 0
+	for _, q := range queries {
+		truth := core.GroundTruth(data, distance.L2, q, 0.45)
+		if len(truth) == 0 {
+			continue
+		}
+		cnt++
+		oc, _ := classic.QueryLSH(q)
+		om, _ := mp.QueryLSH(q)
+		recClassic += core.Recall(oc, truth)
+		recMP += core.Recall(om, truth)
+	}
+	if cnt == 0 {
+		t.Fatal("no queries with neighbors")
+	}
+	if recMP/float64(cnt) < recClassic/float64(cnt)-0.15 {
+		t.Fatalf("multi-probe recall %.3f too far below classic %.3f",
+			recMP/float64(cnt), recClassic/float64(cnt))
+	}
+	if math.IsNaN(recMP) {
+		t.Fatal("NaN recall")
+	}
+}
+
+func TestMultiProbeL1Family(t *testing.T) {
+	// The probing machinery must work identically for the Cauchy family.
+	ds := dataset.CoverTypeLike(0.0005, 41)
+	data, queries := dataset.SplitQueries(ds.Points, 10, 42)
+	ix, err := New(data, Config{
+		Family:   lsh.NewPStableL1(dataset.CoverTypeDim, 4*3400),
+		Distance: distance.L1,
+		Radius:   3400,
+		K:        10,
+		L:        6,
+		Probes:   15,
+		Seed:     43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recall float64
+	cnt := 0
+	for _, q := range queries {
+		truth := core.GroundTruth(data, distance.L1, q, 3400)
+		if len(truth) == 0 {
+			continue
+		}
+		cnt++
+		out, _ := ix.Query(q)
+		recall += core.Recall(out, truth)
+	}
+	if cnt == 0 {
+		t.Skip("no L1 neighbors at this scale")
+	}
+	if recall/float64(cnt) < 0.6 {
+		t.Fatalf("L1 multi-probe recall %v too low", recall/float64(cnt))
+	}
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty stream not zero-valued")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population var is 4; unbiased sample var is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(200)
+		xs := make([]float64, n)
+		var s Stream
+		for i := range xs {
+			xs[i] = r.Normal() * 100
+			s.Add(xs[i])
+		}
+		return math.Abs(s.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(s.Std()-Std(xs)) < 1e-6
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEqualsSequential(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		na, nb := 1+r.Intn(100), 1+r.Intn(100)
+		var a, b, all Stream
+		for i := 0; i < na; i++ {
+			x := r.Normal()
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := r.Normal() + 5
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEmptyCases(t *testing.T) {
+	var a, b Stream
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("merging empties changed N")
+	}
+	b.Add(3)
+	a.Merge(&b) // non-empty into empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Stream
+	a.Merge(&c) // empty into non-empty
+	if a.N() != 1 {
+		t.Fatal("merging empty changed N")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	// Single element.
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	// Input must not be reordered.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanStdEdgeCases(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{5}) != 0 {
+		t.Fatal("empty/singleton edge cases wrong")
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	var s Stream
+	s.Add(1)
+	s.Add(3)
+	out := s.String()
+	if !strings.Contains(out, "2") || !strings.Contains(out, "n=2") {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+func TestWelfordStability(t *testing.T) {
+	// Large offset + small variance: naive two-pass sums would lose all
+	// precision; Welford must not.
+	var s Stream
+	const offset = 1e9
+	for i := 0; i < 1000; i++ {
+		s.Add(offset + float64(i%2)) // values offset, offset+1
+	}
+	if math.Abs(s.Var()-0.25025) > 1e-3 {
+		t.Fatalf("Var = %v, want ≈ 0.25", s.Var())
+	}
+}
