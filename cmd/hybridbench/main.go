@@ -13,7 +13,10 @@
 // full run finishes in minutes; use -scale 1 for paper scale). -paperratio
 // replaces the calibrated cost model with the paper's per-dataset β/α
 // ratios (10, 10, 6, 1), which reproduces the Figure-3 strategy-decision
-// shape exactly; by default β/α is measured on this machine.
+// shape exactly; by default β/α is measured on this machine. -json FILE
+// additionally writes every result of the run as one machine-readable
+// report (schema hybridlsh-bench/v1) so the perf trajectory can be
+// diffed across commits.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "generation/construction seed")
 		paperRatio = flag.Bool("paperratio", false, "use the paper's fixed β/α ratios instead of calibrating")
 		csvDir     = flag.String("csv", "", "also write results as CSV files into this directory")
+		jsonPath   = flag.String("json", "", "also write all results as one machine-readable JSON file (e.g. BENCH_results.json)")
 	)
 	flag.Parse()
 
@@ -44,28 +48,53 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Calibrate = !*paperRatio
 
-	if err := run(*exp, cfg, *csvDir); err != nil {
+	var rep *bench.JSONReport
+	var jsonOut *os.File
+	if *jsonPath != "" {
+		rep = bench.NewJSONReport(cfg)
+		// Open the output before the (potentially minutes-long) run so an
+		// unwritable path fails fast instead of discarding the results.
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybridbench:", err)
+			os.Exit(1)
+		}
+		jsonOut = f
+	}
+	if err := run(*exp, cfg, *csvDir, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridbench:", err)
 		os.Exit(1)
 	}
+	if rep != nil {
+		err := bench.WriteJSON(jsonOut, rep)
+		if cerr := jsonOut.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybridbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(exp string, cfg bench.Config, csvDir string) error {
+// run executes one experiment (or all), printing human-readable tables
+// and accumulating into rep when non-nil.
+func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) error {
 	switch exp {
 	case "table1":
-		return table1(cfg, csvDir)
+		return table1(cfg, csvDir, rep)
 	case "fig2a":
-		return fig2(cfg, csvDir, bench.MNISTExperiment, "fig2a", "Figure 2a — MNIST-like, Hamming distance")
+		return fig2(cfg, csvDir, rep, bench.MNISTExperiment, "fig2a", "Figure 2a — MNIST-like, Hamming distance")
 	case "fig2b":
-		return fig2(cfg, csvDir, bench.WebspamExperiment, "fig2b", "Figure 2b — Webspam-like, cosine distance")
+		return fig2(cfg, csvDir, rep, bench.WebspamExperiment, "fig2b", "Figure 2b — Webspam-like, cosine distance")
 	case "fig2c":
-		return fig2(cfg, csvDir, bench.CoverTypeExperiment, "fig2c", "Figure 2c — CoverType-like, L1 distance")
+		return fig2(cfg, csvDir, rep, bench.CoverTypeExperiment, "fig2c", "Figure 2c — CoverType-like, L1 distance")
 	case "fig2d":
-		return fig2(cfg, csvDir, bench.CorelExperiment, "fig2d", "Figure 2d — Corel-like, L2 distance")
+		return fig2(cfg, csvDir, rep, bench.CorelExperiment, "fig2d", "Figure 2d — Corel-like, L2 distance")
 	case "fig3":
-		return fig3(cfg, csvDir)
+		return fig3(cfg, csvDir, rep)
 	case "all":
-		if err := table1(cfg, csvDir); err != nil {
+		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
 		}
 		for _, e := range []struct {
@@ -78,23 +107,26 @@ func run(exp string, cfg bench.Config, csvDir string) error {
 			{bench.CoverTypeExperiment, "fig2c", "Figure 2c — CoverType-like, L1 distance"},
 			{bench.CorelExperiment, "fig2d", "Figure 2d — Corel-like, L2 distance"},
 		} {
-			if err := fig2(cfg, csvDir, e.run, e.id, e.title); err != nil {
+			if err := fig2(cfg, csvDir, rep, e.run, e.id, e.title); err != nil {
 				return err
 			}
 		}
-		return fig3(cfg, csvDir)
+		return fig3(cfg, csvDir, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 }
 
-func table1(cfg bench.Config, csvDir string) error {
+func table1(cfg bench.Config, csvDir string, rep *bench.JSONReport) error {
 	rows, err := bench.Table1Experiment(cfg)
 	if err != nil {
 		return err
 	}
 	bench.PrintTable1(os.Stdout, rows)
 	fmt.Println()
+	if rep != nil {
+		rep.AddTable1(rows)
+	}
 	if csvDir == "" {
 		return nil
 	}
@@ -103,7 +135,7 @@ func table1(cfg bench.Config, csvDir string) error {
 	})
 }
 
-func fig2(cfg bench.Config, csvDir string, f func(bench.Config) (*bench.Fig2Result, error), id, title string) error {
+func fig2(cfg bench.Config, csvDir string, rep *bench.JSONReport, f func(bench.Config) (*bench.Fig2Result, error), id, title string) error {
 	res, err := f(cfg)
 	if err != nil {
 		return err
@@ -111,6 +143,9 @@ func fig2(cfg bench.Config, csvDir string, f func(bench.Config) (*bench.Fig2Resu
 	fmt.Println(title)
 	bench.PrintFig2(os.Stdout, res)
 	fmt.Println()
+	if rep != nil {
+		rep.AddFigure(id, cfg.Calibrate, res)
+	}
 	if csvDir == "" {
 		return nil
 	}
@@ -119,7 +154,7 @@ func fig2(cfg bench.Config, csvDir string, f func(bench.Config) (*bench.Fig2Resu
 	})
 }
 
-func fig3(cfg bench.Config, csvDir string) error {
+func fig3(cfg bench.Config, csvDir string, rep *bench.JSONReport) error {
 	// Figure 3 is about the strategy decision; the paper's fixed β/α = 10
 	// reproduces its shape regardless of this machine's constants.
 	cfg.Calibrate = false
@@ -130,6 +165,9 @@ func fig3(cfg bench.Config, csvDir string) error {
 	fmt.Println("Figure 3 — Webspam-like output sizes and linear-search calls (β/α = 10, the paper's choice)")
 	bench.PrintFig3(os.Stdout, res)
 	fmt.Println()
+	if rep != nil {
+		rep.AddFigure("fig3", cfg.Calibrate, res)
+	}
 	if csvDir == "" {
 		return nil
 	}

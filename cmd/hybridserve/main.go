@@ -1,0 +1,504 @@
+// Command hybridserve serves a sharded hybrid-LSH index over HTTP JSON.
+// It is the reproduction's traffic-facing layer: queries fan out across
+// the shards in parallel, appends grow one shard while the others keep
+// serving, and deletes are immediate tombstones — all concurrency-safe
+// (see internal/shard).
+//
+//	hybridserve -addr :8080 -metric l2 -dim 16 -n 20000 -r 0.4 -shards 8
+//
+// The index starts out holding n synthetic clustered points (so the
+// server is queryable out of the box) and grows via /append. Endpoints:
+//
+//	GET  /healthz  liveness: {"status":"ok"}
+//	POST /query    {"point": [...]}            -> ids + per-query stats
+//	POST /batch    {"points": [[...], ...]}    -> one result per query
+//	POST /append   {"points": [[...], ...]}    -> assigned ids
+//	POST /delete   {"ids": [...]}              -> tombstone count
+//	GET  /stats    topology, strategy mix, p50/p95/p99 latency
+//
+// For -metric l2 a point is a dim-length array of numbers; for -metric
+// hamming it is a dim-length array of 0/1 bits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	hybridlsh "repro"
+	"repro/internal/rng"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.addr, "addr", cfg.addr, "listen address")
+	flag.StringVar(&cfg.metric, "metric", cfg.metric, "distance metric: l2 or hamming")
+	flag.IntVar(&cfg.dim, "dim", cfg.dim, "point dimension (bits for hamming)")
+	flag.IntVar(&cfg.n, "n", cfg.n, "synthetic seed-dataset size")
+	flag.IntVar(&cfg.shards, "shards", cfg.shards, "number of index shards")
+	flag.Float64Var(&cfg.radius, "r", cfg.radius, "reporting radius the index is built for")
+	flag.Uint64Var(&cfg.seed, "seed", cfg.seed, "seed-dataset and construction seed")
+	flag.IntVar(&cfg.window, "latwindow", cfg.window, "latency-percentile window (observations)")
+	flag.Parse()
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("hybridserve: %s index, n=%d dim=%d r=%v shards=%d, listening on %s",
+		cfg.metric, cfg.n, cfg.dim, cfg.radius, cfg.shards, cfg.addr)
+	if err := serve(cfg.addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridserve:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests for up to 10 seconds.
+func serve(addr string, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: addr, Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("hybridserve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}
+
+type config struct {
+	addr   string
+	metric string
+	dim    int
+	n      int
+	shards int
+	radius float64
+	seed   uint64
+	window int
+}
+
+func defaultConfig() config {
+	return config{
+		addr:   ":8080",
+		metric: "l2",
+		dim:    16,
+		n:      20000,
+		shards: 8,
+		radius: 0.4,
+		seed:   1,
+		window: 4096,
+	}
+}
+
+// backend abstracts the two point types behind the JSON boundary; the
+// concrete engines parse requests into their own P.
+type backend interface {
+	query(raw json.RawMessage) (*queryResult, error)
+	batch(raw []json.RawMessage, workers int) ([]*queryResult, error)
+	appendPoints(raw []json.RawMessage) ([]int32, error)
+	remove(ids []int32) int
+	topo() shard.Stats
+	maxWorkers() int
+}
+
+// server wires a backend to the HTTP API plus serving telemetry.
+type server struct {
+	cfg     config
+	be      backend
+	lat     *stats.Recorder // per-query wall latency, microseconds
+	start   time.Time
+	queries atomic.Int64 // queries answered (batch members count)
+	lshAns  atomic.Int64 // shard answers via LSH-based search
+	linAns  atomic.Int64 // shard answers via linear scan
+}
+
+func newServer(cfg config) (*server, error) {
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("shards = %d, want >= 1", cfg.shards)
+	}
+	if cfg.dim < 1 {
+		return nil, fmt.Errorf("dim = %d, want >= 1", cfg.dim)
+	}
+	if cfg.n < cfg.shards {
+		return nil, fmt.Errorf("n = %d smaller than %d shards", cfg.n, cfg.shards)
+	}
+	if cfg.window < 1 {
+		return nil, fmt.Errorf("latwindow = %d, want >= 1", cfg.window)
+	}
+	var be backend
+	switch cfg.metric {
+	case "l2":
+		ix, err := hybridlsh.NewShardedL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius,
+			hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+		if err != nil {
+			return nil, err
+		}
+		be = &engine[hybridlsh.Dense]{sh: ix.Sharded, parse: parseDense(cfg.dim)}
+	case "hamming":
+		ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius,
+			hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+		if err != nil {
+			return nil, err
+		}
+		be = &engine[hybridlsh.Binary]{sh: ix.Sharded, parse: parseBinary(cfg.dim)}
+	default:
+		return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
+	}
+	return &server{cfg: cfg, be: be, lat: stats.NewRecorder(cfg.window), start: time.Now()}, nil
+}
+
+// seedDense generates n clustered points in [0,1)^dim (64 Gaussian
+// clusters, σ = 0.02) so fresh servers answer non-trivial queries. The
+// clusters are tight relative to typical inter-cluster distances, so a
+// radius between the two scales yields clean, high-recall answers.
+func seedDense(n, dim int, seed uint64) []hybridlsh.Dense {
+	r := rng.New(seed)
+	nc := 64
+	if nc > n {
+		nc = n
+	}
+	centers := make([]hybridlsh.Dense, nc)
+	for i := range centers {
+		c := make(hybridlsh.Dense, dim)
+		for d := range c {
+			c[d] = float32(r.Float64())
+		}
+		centers[i] = c
+	}
+	points := make([]hybridlsh.Dense, n)
+	for i := range points {
+		c := centers[i%nc]
+		p := make(hybridlsh.Dense, dim)
+		for d := range p {
+			p[d] = c[d] + float32(r.Normal()*0.02)
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// seedBinary generates n points as 64 random prototype codes with up to
+// dim/16 bits flipped each.
+func seedBinary(n, dim int, seed uint64) []hybridlsh.Binary {
+	r := rng.New(seed)
+	nc := 64
+	if nc > n {
+		nc = n
+	}
+	protos := make([]hybridlsh.Binary, nc)
+	for i := range protos {
+		b := hybridlsh.NewBinaryVector(dim)
+		for j := 0; j < dim; j++ {
+			if r.Float64() < 0.5 {
+				b.SetBit(j, true)
+			}
+		}
+		protos[i] = b
+	}
+	flips := dim / 16
+	if flips < 1 {
+		flips = 1
+	}
+	points := make([]hybridlsh.Binary, n)
+	for i := range points {
+		b := protos[i%nc].Clone()
+		for f := 0; f < flips; f++ {
+			b.FlipBit(r.Intn(dim))
+		}
+		points[i] = b
+	}
+	return points
+}
+
+func parseDense(dim int) func(json.RawMessage) (hybridlsh.Dense, error) {
+	return func(raw json.RawMessage) (hybridlsh.Dense, error) {
+		var vals []float64
+		if err := json.Unmarshal(raw, &vals); err != nil {
+			return nil, fmt.Errorf("point must be a number array: %w", err)
+		}
+		if len(vals) != dim {
+			return nil, fmt.Errorf("point has %d dims, index expects %d", len(vals), dim)
+		}
+		p := make(hybridlsh.Dense, dim)
+		for i, v := range vals {
+			p[i] = float32(v)
+		}
+		return p, nil
+	}
+}
+
+func parseBinary(dim int) func(json.RawMessage) (hybridlsh.Binary, error) {
+	return func(raw json.RawMessage) (hybridlsh.Binary, error) {
+		var bits []int
+		if err := json.Unmarshal(raw, &bits); err != nil {
+			return hybridlsh.Binary{}, fmt.Errorf("point must be a 0/1 array: %w", err)
+		}
+		if len(bits) != dim {
+			return hybridlsh.Binary{}, fmt.Errorf("point has %d bits, index expects %d", len(bits), dim)
+		}
+		b := hybridlsh.NewBinaryVector(dim)
+		for i, v := range bits {
+			switch v {
+			case 0:
+			case 1:
+				b.SetBit(i, true)
+			default:
+				return hybridlsh.Binary{}, fmt.Errorf("bit %d is %d, want 0 or 1", i, v)
+			}
+		}
+		return b, nil
+	}
+}
+
+// queryResult is the wire form of one answered query.
+type queryResult struct {
+	IDs          []int32 `json:"ids"`
+	LSHShards    int     `json:"lsh_shards"`
+	LinearShards int     `json:"linear_shards"`
+	Collisions   int     `json:"collisions"`
+	Candidates   int     `json:"candidates"`
+	WallUS       float64 `json:"wall_us"`
+}
+
+func toResult(ids []int32, st shard.QueryStats) *queryResult {
+	if ids == nil {
+		ids = []int32{} // marshal as [] rather than null
+	}
+	return &queryResult{
+		IDs:          ids,
+		LSHShards:    st.LSHShards,
+		LinearShards: st.LinearShards,
+		Collisions:   st.Collisions,
+		Candidates:   st.Candidates,
+		WallUS:       float64(st.WallTime.Microseconds()),
+	}
+}
+
+// engine adapts one concrete Sharded[P] to the JSON backend interface.
+type engine[P any] struct {
+	sh    *shard.Sharded[P]
+	parse func(json.RawMessage) (P, error)
+}
+
+func (e *engine[P]) query(raw json.RawMessage) (*queryResult, error) {
+	p, err := e.parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	ids, st := e.sh.Query(p)
+	return toResult(ids, st), nil
+}
+
+func (e *engine[P]) batch(raw []json.RawMessage, workers int) ([]*queryResult, error) {
+	pts := make([]P, len(raw))
+	for i, r := range raw {
+		p, err := e.parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	results := e.sh.QueryBatch(pts, workers)
+	out := make([]*queryResult, len(results))
+	for i, r := range results {
+		out[i] = toResult(r.IDs, r.Stats)
+	}
+	return out, nil
+}
+
+func (e *engine[P]) appendPoints(raw []json.RawMessage) ([]int32, error) {
+	pts := make([]P, len(raw))
+	for i, r := range raw {
+		p, err := e.parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	return e.sh.Append(pts)
+}
+
+func (e *engine[P]) remove(ids []int32) int { return e.sh.Delete(ids) }
+
+func (e *engine[P]) maxWorkers() int { return e.sh.DefaultBatchWorkers() }
+
+func (e *engine[P]) topo() shard.Stats { return e.sh.Stats() }
+
+// record folds one answered query into the serving telemetry.
+func (s *server) record(r *queryResult) {
+	s.queries.Add(1)
+	s.lshAns.Add(int64(r.LSHShards))
+	s.linAns.Add(int64(r.LinearShards))
+	s.lat.Observe(r.WallUS)
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return http.MaxBytesHandler(mux, 32<<20)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("hybridserve: encoding response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Point json.RawMessage `json:"point"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Point) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "point"`))
+		return
+	}
+	res, err := s.be.query(req.Point)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.record(res)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Points  []json.RawMessage `json:"points"`
+		Workers int               `json:"workers"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "points"`))
+		return
+	}
+	// Clamp client-controlled parallelism to the shard-aware ceiling the
+	// workers=0 default uses, so one request can't oversubscribe the
+	// machine.
+	if max := s.be.maxWorkers(); req.Workers > max {
+		req.Workers = max
+	}
+	if req.Workers < 0 {
+		req.Workers = 0
+	}
+	results, err := s.be.batch(req.Points, req.Workers)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, res := range results {
+		s.record(res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "points"`))
+		return
+	}
+	ids, err := s.be.appendPoints(req.Points)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "n": s.be.topo().Live})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		IDs []int32 `json:"ids"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	deleted := s.be.remove(req.IDs)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted, "n": s.be.topo().Live})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	topo := s.be.topo()
+	p := s.lat.Percentiles(0.50, 0.95, 0.99)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metric":      s.cfg.metric,
+		"dim":         s.cfg.dim,
+		"radius":      s.cfg.radius,
+		"uptime_sec":  time.Since(s.start).Seconds(),
+		"shards":      topo.Shards,
+		"shard_sizes": topo.ShardSizes,
+		"live":        topo.Live,
+		"tombstones":  topo.Tombstones,
+		"queries":     s.queries.Load(),
+		"strategy": map[string]int64{
+			"lsh_shard_answers":    s.lshAns.Load(),
+			"linear_shard_answers": s.linAns.Load(),
+		},
+		"latency_us": map[string]any{
+			"p50":   p[0],
+			"p95":   p[1],
+			"p99":   p[2],
+			"count": s.lat.Count(),
+		},
+	})
+}

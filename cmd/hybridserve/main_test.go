@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	hybridlsh "repro"
+)
+
+func testConfig() config {
+	cfg := defaultConfig()
+	cfg.metric = "l2"
+	cfg.dim = 12
+	cfg.n = 1500
+	cfg.shards = 4
+	cfg.radius = 0.4
+	cfg.seed = 5
+	cfg.window = 128
+	return cfg
+}
+
+func startServer(t *testing.T, cfg config) *httptest.Server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// post sends body as JSON and decodes the response into out, asserting
+// the expected status.
+func post(t *testing.T, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var msg json.RawMessage
+		json.NewDecoder(resp.Body).Decode(&msg)
+		t.Fatalf("POST %s: status %d, want %d (%s)", url, resp.StatusCode, wantStatus, msg)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+}
+
+func get(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding response: %v", url, err)
+	}
+}
+
+func toFloats(p hybridlsh.Dense) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	slices.Sort(out)
+	return out
+}
+
+// TestQueryEndToEnd is the acceptance check: /query against a 4-shard
+// index must report exactly the unsharded ground-truth id set.
+func TestQueryEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	ts := startServer(t, cfg)
+	// The seed dataset is deterministic in cfg.seed, so the test can
+	// regenerate it and compute exact ground truth locally.
+	points := seedDense(cfg.n, cfg.dim, cfg.seed)
+
+	nonEmpty := 0
+	for qi := 0; qi < 10; qi++ {
+		q := points[qi*37]
+		truth := hybridlsh.GroundTruth(points, q, cfg.radius)
+		var res queryResult
+		post(t, ts.URL+"/query", map[string]any{"point": toFloats(q)}, http.StatusOK, &res)
+		if !slices.Equal(sortedIDs(res.IDs), sortedIDs(truth)) {
+			t.Errorf("query %d: served ids (%d) != ground truth (%d)", qi, len(res.IDs), len(truth))
+		}
+		if len(truth) > 0 {
+			nonEmpty++
+		}
+		if res.LSHShards+res.LinearShards != cfg.shards {
+			t.Errorf("query %d: strategy mix %d+%d, want %d shards", qi, res.LSHShards, res.LinearShards, cfg.shards)
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every query had empty ground truth; test instance broken")
+	}
+}
+
+func TestBatchMatchesQuery(t *testing.T) {
+	cfg := testConfig()
+	ts := startServer(t, cfg)
+	points := seedDense(cfg.n, cfg.dim, cfg.seed)
+
+	qs := make([][]float64, 5)
+	for i := range qs {
+		qs[i] = toFloats(points[i*11])
+	}
+	var batch struct {
+		Results []queryResult `json:"results"`
+	}
+	post(t, ts.URL+"/batch", map[string]any{"points": qs, "workers": 2}, http.StatusOK, &batch)
+	if len(batch.Results) != len(qs) {
+		t.Fatalf("got %d results, want %d", len(batch.Results), len(qs))
+	}
+	for i, q := range qs {
+		var single queryResult
+		post(t, ts.URL+"/query", map[string]any{"point": q}, http.StatusOK, &single)
+		if !slices.Equal(sortedIDs(batch.Results[i].IDs), sortedIDs(single.IDs)) {
+			t.Errorf("batch[%d] ids diverge from /query", i)
+		}
+	}
+}
+
+func TestAppendDeleteStats(t *testing.T) {
+	cfg := testConfig()
+	ts := startServer(t, cfg)
+
+	// Append two copies of a far-away probe; only they should be near it.
+	probe := make([]float64, cfg.dim)
+	for i := range probe {
+		probe[i] = 50
+	}
+	var app struct {
+		IDs []int32 `json:"ids"`
+		N   int     `json:"n"`
+	}
+	post(t, ts.URL+"/append", map[string]any{"points": [][]float64{probe, probe}}, http.StatusOK, &app)
+	if len(app.IDs) != 2 || app.N != cfg.n+2 {
+		t.Fatalf("append = %+v, want 2 ids and n = %d", app, cfg.n+2)
+	}
+	var res queryResult
+	post(t, ts.URL+"/query", map[string]any{"point": probe}, http.StatusOK, &res)
+	if !slices.Equal(sortedIDs(res.IDs), sortedIDs(app.IDs)) {
+		t.Fatalf("query after append = %v, want %v", res.IDs, app.IDs)
+	}
+
+	var del struct {
+		Deleted int `json:"deleted"`
+		N       int `json:"n"`
+	}
+	post(t, ts.URL+"/delete", map[string]any{"ids": app.IDs[:1]}, http.StatusOK, &del)
+	if del.Deleted != 1 || del.N != cfg.n+1 {
+		t.Fatalf("delete = %+v, want 1 deleted and n = %d", del, cfg.n+1)
+	}
+	post(t, ts.URL+"/query", map[string]any{"point": probe}, http.StatusOK, &res)
+	if !slices.Equal(res.IDs, app.IDs[1:]) {
+		t.Fatalf("query after delete = %v, want %v", res.IDs, app.IDs[1:])
+	}
+
+	var st struct {
+		Shards     int    `json:"shards"`
+		ShardSizes []int  `json:"shard_sizes"`
+		Live       int    `json:"live"`
+		Tombstones int    `json:"tombstones"`
+		Queries    int64  `json:"queries"`
+		Metric     string `json:"metric"`
+		LatencyUS  struct {
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			P99   float64 `json:"p99"`
+			Count int64   `json:"count"`
+		} `json:"latency_us"`
+	}
+	get(t, ts.URL+"/stats", &st)
+	if st.Shards != cfg.shards || len(st.ShardSizes) != cfg.shards {
+		t.Errorf("stats topology = %+v, want %d shards", st, cfg.shards)
+	}
+	if st.Live != cfg.n+1 || st.Tombstones != 1 {
+		t.Errorf("stats live/tombstones = %d/%d, want %d/1", st.Live, st.Tombstones, cfg.n+1)
+	}
+	if st.Queries < 2 || st.LatencyUS.Count != st.Queries {
+		t.Errorf("stats queries = %d, latency count = %d", st.Queries, st.LatencyUS.Count)
+	}
+	if st.LatencyUS.P50 <= 0 || st.LatencyUS.P99 < st.LatencyUS.P50 {
+		t.Errorf("latency percentiles out of order: %+v", st.LatencyUS)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := startServer(t, testConfig())
+	var h struct {
+		Status string `json:"status"`
+	}
+	get(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestHammingServer(t *testing.T) {
+	cfg := testConfig()
+	cfg.metric = "hamming"
+	cfg.dim = 128
+	cfg.n = 800
+	cfg.radius = 20 // co-prototype points differ by ≤ 16 bits: clean margin
+	ts := startServer(t, cfg)
+	points := seedBinary(cfg.n, cfg.dim, cfg.seed)
+
+	q := points[3]
+	bits := make([]int, cfg.dim)
+	for i := 0; i < cfg.dim; i++ {
+		if q.Bit(i) {
+			bits[i] = 1
+		}
+	}
+	truth := hybridlsh.GroundTruthHamming(points, q, cfg.radius)
+	var res queryResult
+	post(t, ts.URL+"/query", map[string]any{"point": bits}, http.StatusOK, &res)
+	if !slices.Equal(sortedIDs(res.IDs), sortedIDs(truth)) {
+		t.Fatalf("hamming query: served %d ids, ground truth %d", len(res.IDs), len(truth))
+	}
+
+	// Non-0/1 bit value is rejected.
+	bits[0] = 2
+	post(t, ts.URL+"/query", map[string]any{"point": bits}, http.StatusBadRequest, nil)
+}
+
+func TestBadRequests(t *testing.T) {
+	cfg := testConfig()
+	ts := startServer(t, cfg)
+
+	for _, tc := range []struct {
+		name string
+		body any
+	}{
+		{"missing point", map[string]any{}},
+		{"wrong dim", map[string]any{"point": []float64{1, 2}}},
+		{"non-numeric", map[string]any{"point": "nope"}},
+		{"unknown field", map[string]any{"point": make([]float64, cfg.dim), "extra": 1}},
+	} {
+		post(t, ts.URL+"/query", tc.body, http.StatusBadRequest, nil)
+	}
+	post(t, ts.URL+"/batch", map[string]any{"points": [][]float64{}}, http.StatusBadRequest, nil)
+	post(t, ts.URL+"/append", map[string]any{"points": [][]float64{{1}}}, http.StatusBadRequest, nil)
+
+	// Wrong method on a POST-only route.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*config)
+	}{
+		{"bad metric", func(c *config) { c.metric = "cosine" }},
+		{"zero shards", func(c *config) { c.shards = 0 }},
+		{"zero dim", func(c *config) { c.dim = 0 }},
+		{"n below shards", func(c *config) { c.n = 2; c.shards = 4 }},
+	} {
+		cfg := testConfig()
+		tc.mut(&cfg)
+		if _, err := newServer(cfg); err == nil {
+			t.Errorf("%s: newServer should fail", tc.name)
+		}
+	}
+}

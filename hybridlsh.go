@@ -36,6 +36,24 @@
 // ladders (NewL2Ladder, NewHammingLadder) for arbitrary-radius queries,
 // Advise for automated (k, L) tuning, Append for dynamic growth and
 // QueryBatch for parallel querying.
+//
+// # Sharded serving
+//
+// Plain indexes are single-writer: Append must not overlap queries. For
+// serving workloads that mutate under traffic, NewShardedL2Index and
+// NewShardedHammingIndex partition the points across S independent
+// shards (WithShards, default 4) and answer Query/QueryBatch by parallel
+// fan-out with a merged result set and aggregated ShardedQueryStats.
+// Appends write-lock only the smallest shard while the rest keep
+// serving (a query fanned out mid-append waits on that one shard before
+// merging), and Delete tombstones ids immediately. On the same point
+// slice a sharded index shares the unsharded index's id universe (point
+// i keeps id i), and the reported sets agree up to the per-point δ
+// failure probability — the shards draw independent hash functions, so
+// the two structures may miss different neighbors that sit near the
+// radius boundary. cmd/hybridserve exposes a sharded index over HTTP JSON
+// (/query, /batch, /append, /delete, /stats, /healthz) with latency
+// percentiles.
 package hybridlsh
 
 import (
@@ -97,16 +115,22 @@ func NewHammingIndex(points []Binary, r float64, opts ...Option) (*HammingIndex,
 	if len(points) == 0 {
 		return nil, errEmpty("NewHammingIndex")
 	}
+	ix, err := newHammingCore(points, r, o)
+	if err != nil {
+		return nil, err
+	}
+	return &HammingIndex{ix}, nil
+}
+
+// newHammingCore builds the core Hamming index; the sharded constructor
+// reuses it with a per-shard seed.
+func newHammingCore(points []Binary, r float64, o options) (*core.Index[Binary], error) {
 	cfg := overlay(o, core.Config[Binary]{
 		Family:   lsh.NewBitSampling(points[0].Dim),
 		Distance: distance.Hamming,
 		Radius:   r,
 	})
-	ix, err := core.NewIndex(points, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &HammingIndex{ix}, nil
+	return core.NewIndex(points, cfg)
 }
 
 // CosineIndex answers rNNR queries under cosine distance (1 − cos θ) on
@@ -180,6 +204,16 @@ func NewL2Index(points []Dense, r float64, opts ...Option) (*L2Index, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("hybridlsh: NewL2Index radius = %v, want > 0", r)
 	}
+	ix, err := newL2Core(points, r, o)
+	if err != nil {
+		return nil, err
+	}
+	return &L2Index{ix}, nil
+}
+
+// newL2Core builds the core L2 index; the sharded constructor reuses it
+// with a per-shard seed.
+func newL2Core(points []Dense, r float64, o options) (*core.Index[Dense], error) {
 	w := o.slotWidth
 	if w == 0 {
 		w = 2 * r
@@ -192,11 +226,7 @@ func NewL2Index(points []Dense, r float64, opts ...Option) (*L2Index, error) {
 	if cfg.K == 0 {
 		cfg.K = 7 // the paper's L2 setting for δ = 0.1
 	}
-	ix, err := core.NewIndex(points, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &L2Index{ix}, nil
+	return core.NewIndex(points, cfg)
 }
 
 // AngularIndex answers rNNR queries under normalized-angle distance

@@ -18,33 +18,41 @@ import (
 // Fig2Row is one x-axis point of a Figure-2 panel (plus the Figure-3
 // series, which come from the same sweep on Webspam).
 type Fig2Row struct {
-	Radius float64
+	Radius float64 `json:"radius"`
 	// Mean CPU seconds over the query set, per strategy (the paper's
 	// y-axis is total seconds for the 100-query set; Seconds* here are
 	// per-set too, for direct comparison), averaged over the configured
 	// runs — the paper reports "the average of 5 runs".
-	HybridSec, LSHSec, LinearSec float64
+	HybridSec float64 `json:"hybrid_sec"`
+	LSHSec    float64 `json:"lsh_sec"`
+	LinearSec float64 `json:"linear_sec"`
 	// Per-run standard deviations of the set times (0 for a single run).
-	HybridStdSec, LSHStdSec, LinearStdSec float64
+	HybridStdSec float64 `json:"hybrid_std_sec"`
+	LSHStdSec    float64 `json:"lsh_std_sec"`
+	LinearStdSec float64 `json:"linear_std_sec"`
 	// Mean recall vs exact ground truth.
-	HybridRecall, LSHRecall float64
+	HybridRecall float64 `json:"hybrid_recall"`
+	LSHRecall    float64 `json:"lsh_recall"`
 	// LSCallsPct is the percentage of hybrid queries that chose linear
 	// search (Figure 3 right).
-	LSCallsPct float64
+	LSCallsPct float64 `json:"ls_calls_pct"`
 	// Output-size statistics over the query set (Figure 3 left).
-	OutAvg, OutMax, OutMin int
+	OutAvg int `json:"out_avg"`
+	OutMax int `json:"out_max"`
+	OutMin int `json:"out_min"`
 	// Estimation diagnostics: mean relative candSize error and the mean
 	// share of query time spent estimating (Table 1 inputs).
-	EstErrPct, EstCostPct float64
+	EstErrPct  float64 `json:"est_err_pct"`
+	EstCostPct float64 `json:"est_cost_pct"`
 }
 
 // Fig2Result is a whole panel: one dataset, several radii.
 type Fig2Result struct {
-	Dataset       string
-	N             int
-	Metric        string
-	BetaOverAlpha float64
-	Rows          []Fig2Row
+	Dataset       string    `json:"dataset"`
+	N             int       `json:"n"`
+	Metric        string    `json:"metric"`
+	BetaOverAlpha float64   `json:"beta_over_alpha"`
+	Rows          []Fig2Row `json:"rows"`
 }
 
 // IndexBuilder constructs the per-radius index of a sweep (k and w depend
@@ -153,15 +161,15 @@ func RunSweep[P any](name, metric string, data, queries []P, radii []float64,
 
 // Table1Row is one dataset column of Table 1.
 type Table1Row struct {
-	Dataset string
+	Dataset string `json:"dataset"`
 	// CostPct is the HLL estimation share of total hybrid query time
 	// (the paper's "% Cost"), averaged over radii and queries.
-	CostPct float64
+	CostPct float64 `json:"cost_pct"`
 	// ErrPct is the mean relative error of the candSize estimate (the
 	// paper's "% Error").
-	ErrPct float64
+	ErrPct float64 `json:"err_pct"`
 	// BetaOverAlpha is the calibrated cost ratio used.
-	BetaOverAlpha float64
+	BetaOverAlpha float64 `json:"beta_over_alpha"`
 }
 
 // Table1FromSweep condenses a sweep (run on the small-radius regime where

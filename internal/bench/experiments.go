@@ -15,20 +15,21 @@ import (
 type Config struct {
 	// Scale multiplies the paper's dataset sizes (1.0 = paper scale;
 	// benchmarks default to 0.05 so `go test -bench` stays laptop-sized).
-	Scale float64
+	Scale float64 `json:"scale"`
 	// Queries is the query-set size (paper: 100).
-	Queries int
+	Queries int `json:"queries"`
 	// L, M, Delta are the LSH/HLL parameters (paper: 50, 128, 0.1).
-	L, M  int
-	Delta float64
+	L     int     `json:"l"`
+	M     int     `json:"m"`
+	Delta float64 `json:"delta"`
 	// Seed drives data generation and index construction.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Calibrate measures β/α on the data when true; otherwise the paper's
 	// per-dataset ratios are used directly.
-	Calibrate bool
+	Calibrate bool `json:"calibrate"`
 	// Runs is how many times the query set is re-timed; the reported
 	// times are the mean (the paper averages 5 runs).
-	Runs int
+	Runs int `json:"runs"`
 }
 
 // DefaultConfig returns the paper's parameters at the given scale.

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONSchema identifies the report layout; bump it when fields change
+// incompatibly so downstream tooling can dispatch on it.
+const JSONSchema = "hybridlsh-bench/v1"
+
+// JSONFigure is one figure sweep in a report, keyed by the experiment
+// id (fig2a…fig2d, fig3) so tooling can pair figures across commits —
+// -exp all produces two webspam-like sweeps (fig2b and fig3) that are
+// otherwise indistinguishable. Calibrated records whether this sweep
+// measured β/α or used the paper's fixed ratio (fig3 always uses the
+// fixed ratio regardless of the run-level config).
+type JSONFigure struct {
+	ID         string `json:"id"`
+	Calibrated bool   `json:"calibrated"`
+	*Fig2Result
+}
+
+// JSONReport is the machine-readable form of one hybridbench run: the
+// configuration it ran under plus every experiment result it produced,
+// in production order. cmd/hybridbench writes it via -json so the perf
+// trajectory can be tracked across commits (BENCH_*.json files).
+type JSONReport struct {
+	Schema  string       `json:"schema"`
+	Config  Config       `json:"config"`
+	Table1  []Table1Row  `json:"table1,omitempty"`
+	Figures []JSONFigure `json:"figures,omitempty"`
+}
+
+// NewJSONReport starts an empty report for the given configuration.
+func NewJSONReport(cfg Config) *JSONReport {
+	return &JSONReport{Schema: JSONSchema, Config: cfg}
+}
+
+// AddTable1 records the Table-1 rows of the run.
+func (r *JSONReport) AddTable1(rows []Table1Row) { r.Table1 = rows }
+
+// AddFigure appends one figure sweep to the report under its
+// experiment id.
+func (r *JSONReport) AddFigure(id string, calibrated bool, res *Fig2Result) {
+	r.Figures = append(r.Figures, JSONFigure{ID: id, Calibrated: calibrated, Fig2Result: res})
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, r *JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

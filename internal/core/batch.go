@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // BatchResult is one query's outcome within QueryBatch.
@@ -11,6 +12,38 @@ type BatchResult struct {
 	IDs []int32
 	// Stats is the per-query breakdown.
 	Stats QueryStats
+}
+
+// ForEach runs fn(i) for every i in [0, n) from a pool of up to workers
+// goroutines (0 means GOMAXPROCS), returning when all calls are done.
+// It is the worker pool behind the batch query paths here and in the
+// shard package.
+func ForEach(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // QueryBatch answers many queries concurrently, using up to workers
@@ -22,33 +55,10 @@ func (ix *Index[P]) QueryBatch(queries []P, workers int) []BatchResult {
 	if len(queries) == 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
 	results := make([]BatchResult, len(queries))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				ids, stats := ix.Query(queries[i])
-				results[i] = BatchResult{IDs: ids, Stats: stats}
-			}
-		}()
-	}
-	wg.Wait()
+	ForEach(len(queries), workers, func(i int) {
+		ids, stats := ix.Query(queries[i])
+		results[i] = BatchResult{IDs: ids, Stats: stats}
+	})
 	return results
 }

@@ -99,8 +99,14 @@ type Config[P any] struct {
 // measured value.
 var DefaultCostModel = CostModel{Alpha: 1, Beta: 8}
 
-// Index is the hybrid rNNR structure. It is immutable and safe for
-// concurrent queries after NewIndex returns.
+// Index is the hybrid rNNR structure. It is safe for any number of
+// concurrent queries after NewIndex returns, but it is single-writer:
+// Append mutates the tables and the point slice without any internal
+// locking, so it must never run concurrently with queries or with
+// another Append. Callers that need concurrent mutation wrap Index in
+// the shard package's Sharded, which partitions points across indexes
+// and guards each with its own RWMutex — that is the supported
+// concurrent path; do not add ad-hoc locking around a shared Index.
 type Index[P any] struct {
 	points []P
 	dist   distance.Func[P]
@@ -232,10 +238,15 @@ func (ix *Index[P]) Point(id int32) P { return ix.points[id] }
 
 // Append adds points to the index, assigning ids from the current N
 // upward. The per-bucket sketches are maintained incrementally (HLLs only
-// ever absorb insertions), so hybrid decisions stay accurate. Append must
-// not run concurrently with queries; the caller synchronizes mutation.
-// Note that k was solved for the build-time radius and δ — appending does
-// not retune parameters.
+// ever absorb insertions), so hybrid decisions stay accurate.
+//
+// Append is the single-writer side of the Index contract: it must not
+// run concurrently with Query, QueryBatch, or another Append — it grows
+// ix.points and the bucket slices in place, and a racing reader observes
+// torn state (verified by the race detector). The shard package provides
+// the concurrency-safe wrapper; use it instead of external locking when
+// queries and appends overlap. Note that k was solved for the build-time
+// radius and δ — appending does not retune parameters.
 func (ix *Index[P]) Append(points []P) error {
 	if len(points) == 0 {
 		return nil

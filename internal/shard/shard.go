@@ -1,0 +1,380 @@
+// Package shard partitions a hybrid-LSH index across S independent
+// core.Index shards and serves queries by parallel fan-out with a
+// result-set merge. It is the concurrency layer of the reproduction:
+// core.Index is single-writer (Append must not run concurrently with
+// queries), whereas Sharded guards every shard with its own
+// sync.RWMutex, so queries proceed on S-1 shards while the S-th absorbs
+// an Append (a concurrent query's fan-out merge still waits for the
+// appending shard), and Delete is a tombstone-set update that never
+// touches the hash tables at all.
+//
+// Points keep the ids they would have in an unsharded index built over
+// the same slice: point i of the build set lives in shard i mod S under
+// local id i/S, and Append assigns global ids from N upward exactly like
+// core.Index.Append. Queries therefore report the same id universe as
+// the unsharded index, which is what the equivalence tests assert.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// Builder constructs the core index of one shard from its point subset.
+// seed is pre-mixed per shard so the S sub-indexes draw independent hash
+// functions; builders should pass it through to core.Config.Seed.
+type Builder[P any] func(points []P, seed uint64) (*core.Index[P], error)
+
+// shardState is one partition: the immutable-under-RLock core index and
+// the local→global id map, both guarded by mu.
+type shardState[P any] struct {
+	mu  sync.RWMutex
+	ix  *core.Index[P]
+	ids []int32 // ids[local] = global id
+}
+
+// Sharded is a concurrency-safe hybrid index over S core.Index shards.
+// Any number of Query/QueryBatch/Delete/Stats calls may run concurrently
+// with each other and with Append; Append itself write-locks only the
+// single shard it grows.
+type Sharded[P any] struct {
+	shards []*shardState[P]
+
+	// appendMu serializes appends (target selection + id allocation);
+	// nextID is atomic so readers (N, Delete, Stats) never block behind
+	// an in-flight bulk append.
+	appendMu sync.Mutex
+	nextID   atomic.Int32
+
+	// tombMu guards tombs, the set of deleted global ids filtered out of
+	// every report.
+	tombMu sync.RWMutex
+	tombs  map[int32]struct{}
+}
+
+// shardSeed derives the construction seed of shard i so that shards draw
+// independent hash functions while the whole structure stays
+// deterministic in the caller's seed.
+func shardSeed(seed uint64, i int) uint64 {
+	return hashutil.Mix64(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+}
+
+// New partitions points round-robin across s shards and builds the
+// sub-indexes in parallel via build. s is clamped to len(points) so every
+// shard is non-empty; it must be >= 1 and points must be non-empty.
+func New[P any](points []P, s int, seed uint64, build Builder[P]) (*Sharded[P], error) {
+	if s < 1 {
+		return nil, fmt.Errorf("shard: New with %d shards, want >= 1", s)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("shard: New on empty point set")
+	}
+	if build == nil {
+		return nil, fmt.Errorf("shard: New with nil builder")
+	}
+	if s > len(points) {
+		s = len(points)
+	}
+
+	parts := make([][]P, s)
+	ids := make([][]int32, s)
+	for i := range points {
+		j := i % s
+		parts[j] = append(parts[j], points[i])
+		ids[j] = append(ids[j], int32(i))
+	}
+
+	sh := &Sharded[P]{
+		shards: make([]*shardState[P], s),
+		tombs:  make(map[int32]struct{}),
+	}
+	sh.nextID.Store(int32(len(points)))
+	errs := make([]error, s)
+	var wg sync.WaitGroup
+	for j := 0; j < s; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			ix, err := build(parts[j], shardSeed(seed, j))
+			if err != nil {
+				errs[j] = fmt.Errorf("shard %d: %w", j, err)
+				return
+			}
+			sh.shards[j] = &shardState[P]{ix: ix, ids: ids[j]}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
+// Shards returns the number of partitions.
+func (s *Sharded[P]) Shards() int { return len(s.shards) }
+
+// N returns the number of live (appended minus deleted) points.
+func (s *Sharded[P]) N() int {
+	total := int(s.nextID.Load())
+	s.tombMu.RLock()
+	dead := len(s.tombs)
+	s.tombMu.RUnlock()
+	return total - dead
+}
+
+// QueryStats aggregates the per-shard core.QueryStats of one fanned-out
+// query.
+type QueryStats struct {
+	// PerShard holds each shard's stats, indexed by shard.
+	PerShard []core.QueryStats
+	// LSHShards and LinearShards count the strategy mix: how many shards
+	// answered with LSH-based search vs the exact linear scan.
+	LSHShards, LinearShards int
+	// Collisions, Candidates and Results are summed over shards. Results
+	// counts ids after tombstone filtering.
+	Collisions, Candidates, Results int
+	// MaxShardTime is the slowest shard's estimate+search time — the
+	// fan-out's critical path. TotalShardTime is the sum over shards, the
+	// CPU cost of the query.
+	MaxShardTime, TotalShardTime time.Duration
+	// WallTime is the end-to-end latency including merge and filtering.
+	WallTime time.Duration
+}
+
+// Query fans q out to every shard in parallel, merges the per-shard
+// result sets into global ids, drops tombstoned ids and returns the rest
+// (distinct, unordered) with aggregated stats.
+func (s *Sharded[P]) Query(q P) ([]int32, QueryStats) {
+	t0 := time.Now()
+	stats := QueryStats{PerShard: make([]core.QueryStats, len(s.shards))}
+	parts := make([][]int32, len(s.shards))
+
+	var wg sync.WaitGroup
+	for j, st := range s.shards {
+		wg.Add(1)
+		go func(j int, st *shardState[P]) {
+			defer wg.Done()
+			st.mu.RLock()
+			local, qs := st.ix.Query(q)
+			global := make([]int32, len(local))
+			for i, id := range local {
+				global[i] = st.ids[id]
+			}
+			st.mu.RUnlock()
+			parts[j] = global
+			stats.PerShard[j] = qs
+		}(j, st)
+	}
+	wg.Wait()
+
+	for _, qs := range stats.PerShard {
+		if qs.Strategy == core.StrategyLSH {
+			stats.LSHShards++
+		} else {
+			stats.LinearShards++
+		}
+		stats.Collisions += qs.Collisions
+		stats.Candidates += qs.Candidates
+		stats.TotalShardTime += qs.TotalTime()
+		if t := qs.TotalTime(); t > stats.MaxShardTime {
+			stats.MaxShardTime = t
+		}
+	}
+
+	out := s.mergeLive(parts)
+	stats.Results = len(out)
+	stats.WallTime = time.Since(t0)
+	return out, stats
+}
+
+// mergeLive concatenates the per-shard global-id sets, dropping
+// tombstoned ids. Shards never share ids, so no dedup is needed.
+func (s *Sharded[P]) mergeLive(parts [][]int32) []int32 {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]int32, 0, n)
+	s.tombMu.RLock()
+	if len(s.tombs) == 0 {
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+	} else {
+		for _, p := range parts {
+			for _, id := range p {
+				if _, dead := s.tombs[id]; !dead {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	s.tombMu.RUnlock()
+	return out
+}
+
+// BatchResult is one query's outcome within QueryBatch.
+type BatchResult struct {
+	IDs   []int32
+	Stats QueryStats
+}
+
+// DefaultBatchWorkers is the worker count QueryBatch uses for
+// workers <= 0: one per shard-fanned query slot (GOMAXPROCS/Shards
+// rounded up to at least 1), since each query already fans out one
+// goroutine per shard. Serving layers that clamp client-supplied worker
+// counts should clamp to this same ceiling.
+func (s *Sharded[P]) DefaultBatchWorkers() int {
+	w := (runtime.GOMAXPROCS(0) + len(s.shards) - 1) / len(s.shards)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// QueryBatch answers many queries concurrently, running up to workers
+// queries at a time (0 means DefaultBatchWorkers). Results are
+// positionally aligned with queries.
+func (s *Sharded[P]) QueryBatch(queries []P, workers int) []BatchResult {
+	if len(queries) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = s.DefaultBatchWorkers()
+	}
+	results := make([]BatchResult, len(queries))
+	core.ForEach(len(queries), workers, func(i int) {
+		ids, qs := s.Query(queries[i])
+		results[i] = BatchResult{IDs: ids, Stats: qs}
+	})
+	return results
+}
+
+// Append adds points under fresh global ids (returned, assigned from the
+// current total upward) and routes them all to the currently smallest
+// shard, which is write-locked for the duration; the other S-1 shards
+// keep serving. Note that a query fanned out during an append completes
+// its other shards but still waits on the appending shard before
+// merging, so bulk appends should be split into moderate batches to
+// bound query tail latency. Appends serialize with each other (each
+// batch lands on one shard anyway). Like core.Index.Append it does not
+// retune (k, L).
+func (s *Sharded[P]) Append(points []P) ([]int32, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	// Hold appendMu across the whole operation so nextID only ever
+	// advances for points that are actually stored — a failed core append
+	// must not leave phantom ids inflating N().
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+
+	target := s.shards[0]
+	min := target.size()
+	for _, st := range s.shards[1:] {
+		if n := st.size(); n < min {
+			target, min = st, n
+		}
+	}
+	base := s.nextID.Load() // only Append writes nextID, and appends serialize
+	// Guard the global id space: each shard only enforces its local
+	// count, so S shards together could otherwise overflow int32 ids.
+	if int64(base)+int64(len(points)) > int64(1)<<31-1 {
+		return nil, fmt.Errorf("shard: Append would overflow the int32 id space (%d + %d)", base, len(points))
+	}
+
+	target.mu.Lock()
+	defer target.mu.Unlock()
+
+	if err := target.ix.Append(points); err != nil {
+		return nil, err
+	}
+	ids := make([]int32, len(points))
+	for i := range ids {
+		ids[i] = base + int32(i)
+	}
+	target.ids = append(target.ids, ids...)
+	s.nextID.Add(int32(len(points)))
+	return ids, nil
+}
+
+// size returns the shard's point count (lock-taking; used for routing).
+func (st *shardState[P]) size() int {
+	st.mu.RLock()
+	n := st.ix.N()
+	st.mu.RUnlock()
+	return n
+}
+
+// Delete tombstones the given global ids: they disappear from all future
+// reports immediately. Unknown or already-deleted ids are ignored. It
+// returns the number of ids newly deleted. The underlying buckets are not
+// rewritten, so the cost-model inputs (bucket sizes, sketches) still
+// count tombstoned points; callers that delete a large fraction of the
+// index should rebuild it.
+func (s *Sharded[P]) Delete(ids []int32) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	max := s.nextID.Load()
+
+	s.tombMu.Lock()
+	deleted := 0
+	for _, id := range ids {
+		if id < 0 || id >= max {
+			continue
+		}
+		if _, dead := s.tombs[id]; !dead {
+			s.tombs[id] = struct{}{}
+			deleted++
+		}
+	}
+	s.tombMu.Unlock()
+	return deleted
+}
+
+// Deleted returns the current tombstone count.
+func (s *Sharded[P]) Deleted() int {
+	s.tombMu.RLock()
+	n := len(s.tombs)
+	s.tombMu.RUnlock()
+	return n
+}
+
+// ShardSizes returns each shard's current point count (including
+// tombstoned points, which still occupy buckets).
+func (s *Sharded[P]) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for j, st := range s.shards {
+		sizes[j] = st.size()
+	}
+	return sizes
+}
+
+// Stats is a point-in-time topology snapshot for monitoring endpoints.
+type Stats struct {
+	// Shards is the partition count.
+	Shards int
+	// ShardSizes[j] is shard j's point count, tombstones included.
+	ShardSizes []int
+	// Live is the total live point count, Tombstones the deleted count.
+	Live, Tombstones int
+}
+
+// Stats snapshots the topology.
+func (s *Sharded[P]) Stats() Stats {
+	return Stats{
+		Shards:     len(s.shards),
+		ShardSizes: s.ShardSizes(),
+		Live:       s.N(),
+		Tombstones: s.Deleted(),
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Recorder is a concurrency-safe sliding-window sample for latency
+// percentiles: it keeps the most recent capacity observations in a ring
+// buffer and answers quantile queries over that window. Serving code
+// records one observation per request and reports p50/p95/p99 from a
+// monitoring endpoint; the fixed window bounds memory and keeps the
+// percentiles fresh under load shifts.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int   // next write position
+	size  int   // observations currently in the ring (≤ cap(ring))
+	total int64 // observations ever recorded
+}
+
+// NewRecorder returns a Recorder windowing the last capacity
+// observations. It panics if capacity < 1.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		panic(fmt.Sprintf("stats: NewRecorder(%d), want >= 1", capacity))
+	}
+	return &Recorder{ring: make([]float64, capacity)}
+}
+
+// Observe records one observation.
+func (r *Recorder) Observe(x float64) {
+	r.mu.Lock()
+	r.ring[r.next] = x
+	r.next = (r.next + 1) % len(r.ring)
+	if r.size < len(r.ring) {
+		r.size++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Count returns the number of observations ever recorded (not just those
+// still in the window).
+func (r *Recorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns a copy of the current window in unspecified order.
+func (r *Recorder) Snapshot() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.ring[:r.size]...)
+}
+
+// Percentiles returns the window's q-quantiles (one per q, in order),
+// sorting the window once. It panics on a q outside [0, 1], like
+// Quantile; with an empty window every result is 0.
+func (r *Recorder) Percentiles(qs ...float64) []float64 {
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			panic(fmt.Sprintf("stats: Percentiles q = %v outside [0,1]", q))
+		}
+	}
+	window := r.Snapshot()
+	out := make([]float64, len(qs))
+	if len(window) == 0 {
+		return out
+	}
+	sort.Float64s(window)
+	for i, q := range qs {
+		out[i] = quantileSorted(window, q)
+	}
+	return out
+}

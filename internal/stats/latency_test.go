@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderPercentiles(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 1; i <= 100; i++ {
+		r.Observe(float64(i))
+	}
+	p := r.Percentiles(0.50, 0.95, 0.99)
+	if p[0] != 50.5 {
+		t.Errorf("p50 = %v, want 50.5", p[0])
+	}
+	if p[1] != 95.05 {
+		t.Errorf("p95 = %v, want 95.05", p[1])
+	}
+	if p[2] != 99.01 {
+		t.Errorf("p99 = %v, want 99.01", p[2])
+	}
+	if r.Count() != 100 {
+		t.Errorf("Count = %d, want 100", r.Count())
+	}
+}
+
+func TestRecorderWindowSlides(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Observe(1000) // pushed out of the window below
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		r.Observe(x)
+	}
+	if got := r.Percentiles(1.0)[0]; got != 4 {
+		t.Errorf("windowed max = %v, want 4 (old observations must age out)", got)
+	}
+	if r.Count() != 14 {
+		t.Errorf("Count = %d, want all-time 14", r.Count())
+	}
+	if len(r.Snapshot()) != 4 {
+		t.Errorf("Snapshot len = %d, want window 4", len(r.Snapshot()))
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder(8)
+	p := r.Percentiles(0.5, 0.99)
+	if p[0] != 0 || p[1] != 0 {
+		t.Errorf("empty percentiles = %v, want zeros", p)
+	}
+	if r.Count() != 0 || len(r.Snapshot()) != 0 {
+		t.Error("empty recorder should report no observations")
+	}
+}
+
+func TestRecorderPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(0) should panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+// TestRecorderConcurrent hammers Observe and the readers from many
+// goroutines; meaningful under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Observe(float64(w*1000 + i))
+				if i%50 == 0 {
+					r.Percentiles(0.5, 0.95, 0.99)
+					r.Count()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Count() != 8*200 {
+		t.Errorf("Count = %d, want 1600", r.Count())
+	}
+}

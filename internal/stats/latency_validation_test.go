@@ -1,0 +1,15 @@
+package stats
+
+import "testing"
+
+// Percentiles must reject a bad q even when the window is empty, so a
+// miswired monitoring path fails at startup rather than on first
+// traffic.
+func TestRecorderPercentilesValidatesQOnEmptyWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentiles(95) on empty window should panic")
+		}
+	}()
+	NewRecorder(8).Percentiles(95)
+}

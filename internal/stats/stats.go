@@ -110,6 +110,13 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile on an already-sorted non-empty sample with
+// a validated q; Recorder.Percentiles uses it to sort its window once
+// for several quantiles.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

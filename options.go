@@ -21,6 +21,16 @@ type options struct {
 	seed      uint64
 	cost      core.CostModel
 	slotWidth float64
+	shards    int
+}
+
+// shardCount resolves the shard count for the sharded constructors
+// (default 4).
+func (o options) shardCount() int {
+	if o.shards == 0 {
+		return 4
+	}
+	return o.shards
 }
 
 func applyOptions(opts []Option) options {
@@ -72,6 +82,18 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 // WithCostModel supplies calibrated cost constants (see Calibrate). The
 // default model uses β/α = 8.
 func WithCostModel(c CostModel) Option { return func(o *options) { o.cost = c } }
+
+// WithShards sets the partition count of the sharded constructors
+// (NewShardedL2Index, NewShardedHammingIndex); plain constructors ignore
+// it. Default 4; the constructors clamp it to the point count.
+func WithShards(s int) Option {
+	return func(o *options) {
+		if s < 1 {
+			panic(fmt.Sprintf("hybridlsh: WithShards(%d), want >= 1", s))
+		}
+		o.shards = s
+	}
+}
 
 // WithSlotWidth overrides the p-stable slot width w (L1/L2 indexes only;
 // ignored elsewhere). Defaults: w = 4r for L1, w = 2r for L2, the paper's

@@ -1,0 +1,173 @@
+package hybridlsh
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+// tightClusters generates points in very tight clusters so that, at the
+// given radius, a correctly built index reports the exact ground truth —
+// which lets the sharded/unsharded comparison demand id-for-id equality.
+func tightClusters(n, nc, dim int, seed uint64) (points, queries []Dense) {
+	r := rng.New(seed)
+	centers := make([]Dense, nc)
+	for i := range centers {
+		c := make(Dense, dim)
+		for d := range c {
+			c[d] = float32(r.Float64())
+		}
+		centers[i] = c
+	}
+	for i := 0; i < n; i++ {
+		c := centers[i%nc]
+		p := make(Dense, dim)
+		for d := range p {
+			p[d] = c[d] + float32(r.Normal()*0.01)
+		}
+		points = append(points, p)
+	}
+	return points, centers
+}
+
+func sortedIDs(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	slices.Sort(out)
+	return out
+}
+
+func TestShardedL2MatchesUnsharded(t *testing.T) {
+	const radius = 0.4
+	points, queries := tightClusters(1000, 25, 10, 13)
+
+	flat, err := NewL2Index(points, radius, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedL2Index(points, radius, WithSeed(4), WithShards(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Shards(); got != 5 {
+		t.Fatalf("Shards() = %d, want 5", got)
+	}
+	for qi, q := range queries {
+		truth := GroundTruth(points, q, radius)
+		flatIDs, _ := flat.Query(q)
+		shIDs, st := sh.Query(q)
+		if !slices.Equal(sortedIDs(flatIDs), sortedIDs(truth)) {
+			t.Fatalf("query %d: unsharded index missed ground truth; pick an easier instance", qi)
+		}
+		if !slices.Equal(sortedIDs(shIDs), sortedIDs(flatIDs)) {
+			t.Errorf("query %d: sharded = %v, unsharded = %v", qi, sortedIDs(shIDs), sortedIDs(flatIDs))
+		}
+		if st.LSHShards+st.LinearShards != 5 {
+			t.Errorf("query %d: strategy mix %d+%d, want 5 shards", qi, st.LSHShards, st.LinearShards)
+		}
+	}
+}
+
+func TestShardedL2DefaultsAndValidation(t *testing.T) {
+	points, _ := tightClusters(100, 5, 6, 19)
+	sh, err := NewShardedL2Index(points, 0.3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Shards(); got != 4 {
+		t.Fatalf("default Shards() = %d, want 4", got)
+	}
+	if _, err := NewShardedL2Index(nil, 0.3); err == nil {
+		t.Error("empty points should fail")
+	}
+	if _, err := NewShardedL2Index(points, 0); err == nil {
+		t.Error("zero radius should fail")
+	}
+}
+
+func TestShardedHammingMatchesUnsharded(t *testing.T) {
+	// Binary instance with the same planted structure: 30 prototype
+	// codes, each point flips ≤ 2 of 256 bits, radius 8 — every cluster
+	// member is far inside the radius, cross-cluster points far outside.
+	const (
+		dim    = 256
+		nc     = 30
+		n      = 600
+		radius = 8
+	)
+	r := rng.New(29)
+	protos := make([]vector.Binary, nc)
+	for i := range protos {
+		b := NewBinaryVector(dim)
+		for j := 0; j < dim; j++ {
+			if r.Float64() < 0.5 {
+				b.SetBit(j, true)
+			}
+		}
+		protos[i] = b
+	}
+	points := make([]Binary, n)
+	for i := range points {
+		b := protos[i%nc].Clone()
+		for f := 0; f < 2; f++ {
+			b.FlipBit(r.Intn(dim))
+		}
+		points[i] = b
+	}
+
+	flat, err := NewHammingIndex(points, radius, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedHammingIndex(points, radius, WithSeed(8), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedHammingIndex(nil, radius); err == nil {
+		t.Error("empty points should fail")
+	}
+	for qi, q := range protos {
+		truth := GroundTruthHamming(points, q, radius)
+		flatIDs, _ := flat.Query(q)
+		shIDs, _ := sh.Query(q)
+		if !slices.Equal(sortedIDs(flatIDs), sortedIDs(truth)) {
+			t.Fatalf("query %d: unsharded index missed ground truth; pick an easier instance", qi)
+		}
+		if !slices.Equal(sortedIDs(shIDs), sortedIDs(flatIDs)) {
+			t.Errorf("query %d: sharded = %v, unsharded = %v", qi, sortedIDs(shIDs), sortedIDs(flatIDs))
+		}
+	}
+}
+
+func TestShardedAppendDeleteRoundTrip(t *testing.T) {
+	points, _ := tightClusters(200, 10, 6, 37)
+	sh, err := NewShardedL2Index(points, 0.3, WithSeed(2), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a far-away probe; only its own appends should be near it.
+	probe := make(Dense, 6)
+	for d := range probe {
+		probe[d] = 9
+	}
+	ids, err := sh.Append([]Dense{probe.Clone(), probe.Clone(), probe.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sh.Query(probe)
+	if !slices.Equal(sortedIDs(got), sortedIDs(ids)) {
+		t.Fatalf("Query after Append = %v, want %v", sortedIDs(got), sortedIDs(ids))
+	}
+	if n := sh.Delete(ids[:1]); n != 1 {
+		t.Fatalf("Delete = %d, want 1", n)
+	}
+	got, _ = sh.Query(probe)
+	if !slices.Equal(sortedIDs(got), sortedIDs(ids[1:])) {
+		t.Fatalf("Query after Delete = %v, want %v", sortedIDs(got), sortedIDs(ids[1:]))
+	}
+	st := sh.Stats()
+	if st.Live != 202 || st.Tombstones != 1 {
+		t.Fatalf("Stats() = %+v, want Live 202, Tombstones 1", st)
+	}
+}
