@@ -7,6 +7,7 @@
 //	hybridbench -exp fig2c             # Figure 2c: CoverType, L1
 //	hybridbench -exp fig2d             # Figure 2d: Corel, L2
 //	hybridbench -exp fig3              # Figure 3: Webspam output sizes & LS%
+//	hybridbench -exp persist           # build-once-load-many: snapshot load vs rebuild
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -93,6 +94,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return fig2(cfg, csvDir, rep, bench.CorelExperiment, "fig2d", "Figure 2d — Corel-like, L2 distance")
 	case "fig3":
 		return fig3(cfg, csvDir, rep)
+	case "persist":
+		return persistExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -111,10 +114,29 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 				return err
 			}
 		}
-		return fig3(cfg, csvDir, rep)
+		if err := fig3(cfg, csvDir, rep); err != nil {
+			return err
+		}
+		return persistExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// persistExp runs the build-once-load-many experiment: how much faster
+// a snapshot reload is than a cold rebuild on the Corel-like dataset.
+func persistExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.PersistExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Persistence — snapshot load vs cold rebuild (build-once-load-many)")
+	bench.PrintPersist(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddPersist(res)
+	}
+	return nil
 }
 
 func table1(cfg bench.Config, csvDir string, rep *bench.JSONReport) error {

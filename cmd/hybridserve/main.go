@@ -14,18 +14,47 @@
 //	POST /batch    {"points": [[...], ...]}    -> one result per query
 //	POST /append   {"points": [[...], ...]}    -> assigned ids
 //	POST /delete   {"ids": [...]}              -> tombstone count
+//	POST /snapshot                             -> persist to the -snapshot path
 //	GET  /stats    topology, strategy mix, p50/p95/p99 latency
 //
 // For -metric l2 a point is a dim-length array of numbers; for -metric
 // hamming it is a dim-length array of 0/1 bits.
+//
+// # Warm restarts
+//
+// Passing -snapshot FILE makes the server load that hybridlsh-snap/v1
+// snapshot at boot instead of building a synthetic index — the
+// expensive work (hashing every point into L tables, building the
+// bucket sketches) was done by whoever wrote the snapshot, so the
+// server answers its first query in the time it takes to read the
+// file, with results id-for-id identical to the saved index (tombstoned
+// ids stay deleted; appends continue from the saved high-water mark).
+// If the file does not exist yet the server starts from the synthetic
+// seed dataset as usual. POST /snapshot writes the current index to the
+// same file atomically via temp-file-plus-rename, so a crash mid-write
+// never corrupts the snapshot a later boot will read; appends are
+// blocked for the duration of the write while queries keep flowing.
+// The write path is fixed by the -snapshot flag (never taken from the
+// request), so HTTP clients cannot direct writes elsewhere.
+//
+// A reload is answer-equivalent to the saved index: every hash
+// function, bucket and sketch survives, so an index that saw no deletes
+// answers id-for-id identically. Tombstoned points are compacted out of
+// the snapshot (their ids stay reserved and deleted), which shrinks the
+// affected buckets — a query that straddled the cost-model boundary may
+// therefore pick the other strategy after the restart, with the usual
+// per-point δ guarantee either way.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -35,6 +64,7 @@ import (
 	"time"
 
 	hybridlsh "repro"
+	"repro/internal/persist"
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -50,6 +80,8 @@ func main() {
 	flag.Float64Var(&cfg.radius, "r", cfg.radius, "reporting radius the index is built for")
 	flag.Uint64Var(&cfg.seed, "seed", cfg.seed, "seed-dataset and construction seed")
 	flag.IntVar(&cfg.window, "latwindow", cfg.window, "latency-percentile window (observations)")
+	flag.StringVar(&cfg.snapshot, "snapshot", cfg.snapshot,
+		"snapshot file: loaded at boot when it exists (dim/r/shards then come from the snapshot), written by POST /snapshot")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -57,8 +89,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hybridserve:", err)
 		os.Exit(1)
 	}
+	if srv.loadedFrom != "" {
+		log.Printf("hybridserve: warm start from %s (%d live points)", srv.loadedFrom, srv.be.topo().Live)
+	}
 	log.Printf("hybridserve: %s index, n=%d dim=%d r=%v shards=%d, listening on %s",
-		cfg.metric, cfg.n, cfg.dim, cfg.radius, cfg.shards, cfg.addr)
+		srv.cfg.metric, srv.be.topo().Live, srv.cfg.dim, srv.cfg.radius, srv.cfg.shards, cfg.addr)
 	if err := serve(cfg.addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridserve:", err)
 		os.Exit(1)
@@ -87,14 +122,15 @@ func serve(addr string, h http.Handler) error {
 }
 
 type config struct {
-	addr   string
-	metric string
-	dim    int
-	n      int
-	shards int
-	radius float64
-	seed   uint64
-	window int
+	addr     string
+	metric   string
+	dim      int
+	n        int
+	shards   int
+	radius   float64
+	seed     uint64
+	window   int
+	snapshot string
 }
 
 func defaultConfig() config {
@@ -117,19 +153,21 @@ type backend interface {
 	batch(raw []json.RawMessage, workers int) ([]*queryResult, error)
 	appendPoints(raw []json.RawMessage) ([]int32, error)
 	remove(ids []int32) int
+	snapshot(path string) (int64, error)
 	topo() shard.Stats
 	maxWorkers() int
 }
 
 // server wires a backend to the HTTP API plus serving telemetry.
 type server struct {
-	cfg     config
-	be      backend
-	lat     *stats.Recorder // per-query wall latency, microseconds
-	start   time.Time
-	queries atomic.Int64 // queries answered (batch members count)
-	lshAns  atomic.Int64 // shard answers via LSH-based search
-	linAns  atomic.Int64 // shard answers via linear scan
+	cfg        config
+	be         backend
+	loadedFrom string          // snapshot path the index booted from, if any
+	lat        *stats.Recorder // per-query wall latency, microseconds
+	start      time.Time
+	queries    atomic.Int64 // queries answered (batch members count)
+	lshAns     atomic.Int64 // shard answers via LSH-based search
+	linAns     atomic.Int64 // shard answers via linear scan
 }
 
 func newServer(cfg config) (*server, error) {
@@ -145,26 +183,79 @@ func newServer(cfg config) (*server, error) {
 	if cfg.window < 1 {
 		return nil, fmt.Errorf("latwindow = %d, want >= 1", cfg.window)
 	}
+	loadedFrom := ""
+	be, err := loadBackend(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if be != nil {
+		loadedFrom = cfg.snapshot
+	} else {
+		switch cfg.metric {
+		case "l2":
+			ix, err := hybridlsh.NewShardedL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius,
+				hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+			if err != nil {
+				return nil, err
+			}
+			be = &engine[hybridlsh.Dense]{sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim)}
+		case "hamming":
+			ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius,
+				hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+			if err != nil {
+				return nil, err
+			}
+			be = &engine[hybridlsh.Binary]{sh: ix.Sharded, metric: persist.MetricHamming, parse: parseBinary(cfg.dim)}
+		default:
+			return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
+		}
+	}
+	return &server{cfg: cfg, be: be, loadedFrom: loadedFrom, lat: stats.NewRecorder(cfg.window), start: time.Now()}, nil
+}
+
+// loadBackend loads cfg.snapshot when the flag is set and the file
+// exists, returning (nil, nil) otherwise so the caller falls back to
+// the synthetic build. On success the snapshot is authoritative for
+// dim, radius and shard count: cfg is updated so request parsing and
+// /stats reflect the loaded index (the -metric flag must still match —
+// the reader rejects a snapshot of a different metric).
+func loadBackend(cfg *config) (backend, error) {
+	if cfg.snapshot == "" {
+		return nil, nil
+	}
+	f, err := os.Open(cfg.snapshot)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
 	var be backend
+	var meta persist.Meta
 	switch cfg.metric {
 	case "l2":
-		ix, err := hybridlsh.NewShardedL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius,
-			hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+		sh, m, err := persist.ReadSharded[hybridlsh.Dense](br, persist.MetricL2)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, err)
 		}
-		be = &engine[hybridlsh.Dense]{sh: ix.Sharded, parse: parseDense(cfg.dim)}
+		meta = m
+		be = &engine[hybridlsh.Dense]{sh: sh, metric: persist.MetricL2, parse: parseDense(m.Dim)}
 	case "hamming":
-		ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius,
-			hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+		sh, m, err := persist.ReadSharded[hybridlsh.Binary](br, persist.MetricHamming)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, err)
 		}
-		be = &engine[hybridlsh.Binary]{sh: ix.Sharded, parse: parseBinary(cfg.dim)}
+		meta = m
+		be = &engine[hybridlsh.Binary]{sh: sh, metric: persist.MetricHamming, parse: parseBinary(m.Dim)}
 	default:
 		return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
 	}
-	return &server{cfg: cfg, be: be, lat: stats.NewRecorder(cfg.window), start: time.Now()}, nil
+	cfg.dim = meta.Dim
+	cfg.radius = meta.Radius
+	cfg.shards = meta.Shards
+	return be, nil
 }
 
 // seedDense generates n clustered points in [0,1)^dim (64 Gaussian
@@ -296,8 +387,9 @@ func toResult(ids []int32, st shard.QueryStats) *queryResult {
 
 // engine adapts one concrete Sharded[P] to the JSON backend interface.
 type engine[P any] struct {
-	sh    *shard.Sharded[P]
-	parse func(json.RawMessage) (P, error)
+	sh     *shard.Sharded[P]
+	metric string // persist metric identifier for snapshots
+	parse  func(json.RawMessage) (P, error)
 }
 
 func (e *engine[P]) query(raw json.RawMessage) (*queryResult, error) {
@@ -340,6 +432,20 @@ func (e *engine[P]) appendPoints(raw []json.RawMessage) ([]int32, error) {
 
 func (e *engine[P]) remove(ids []int32) int { return e.sh.Delete(ids) }
 
+// snapshot persists the index to path atomically (temp file + rename).
+// Appends are blocked while the consistent view is serialized; queries
+// keep flowing.
+func (e *engine[P]) snapshot(path string) (int64, error) {
+	return persist.WriteFileAtomic(path, func(w io.Writer) (int64, error) {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		n, err := persist.WriteSharded(bw, e.metric, e.sh)
+		if err == nil {
+			err = bw.Flush()
+		}
+		return n, err
+	})
+}
+
 func (e *engine[P]) maxWorkers() int { return e.sh.DefaultBatchWorkers() }
 
 func (e *engine[P]) topo() shard.Stats { return e.sh.Stats() }
@@ -359,6 +465,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return http.MaxBytesHandler(mux, 32<<20)
 }
@@ -477,6 +584,31 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted, "n": s.be.topo().Live})
 }
 
+// handleSnapshot persists the index to the operator-configured
+// -snapshot path. The path deliberately cannot come from the request:
+// accepting one would hand every HTTP client an arbitrary-file-write
+// primitive (the atomic rename overwrites whatever the path names).
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	path := s.cfg.snapshot
+	if path == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("no snapshot path configured: start the server with -snapshot"))
+		return
+	}
+	t0 := time.Now()
+	n, err := s.be.snapshot(path)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	log.Printf("hybridserve: wrote snapshot %s (%d bytes in %v)", path, n, time.Since(t0).Round(time.Millisecond))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":     path,
+		"bytes":    n,
+		"live":     s.be.topo().Live,
+		"write_ms": float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	topo := s.be.topo()
 	p := s.lat.Percentiles(0.50, 0.95, 0.99)
@@ -484,6 +616,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"metric":      s.cfg.metric,
 		"dim":         s.cfg.dim,
 		"radius":      s.cfg.radius,
+		"snapshot":    s.cfg.snapshot,
+		"warm_start":  s.loadedFrom != "",
 		"uptime_sec":  time.Since(s.start).Seconds(),
 		"shards":      topo.Shards,
 		"shard_sizes": topo.ShardSizes,

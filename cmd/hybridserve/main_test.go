@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"slices"
 	"testing"
 
@@ -291,5 +293,153 @@ func TestNewServerValidation(t *testing.T) {
 		if _, err := newServer(cfg); err == nil {
 			t.Errorf("%s: newServer should fail", tc.name)
 		}
+	}
+}
+
+func toBits(p hybridlsh.Binary) []int {
+	bits := make([]int, p.Dim)
+	for i := 0; i < p.Dim; i++ {
+		if p.Bit(i) {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// TestSnapshotWarmRestart is the end-to-end persistence test: a server
+// grows and mutates its index, snapshots it, and a second server booted
+// from the snapshot answers queries and reports stats identically to
+// the first server's pre-restart state.
+func TestSnapshotWarmRestart(t *testing.T) {
+	cfg := testConfig()
+	cfg.snapshot = filepath.Join(t.TempDir(), "index.snap")
+	ts := startServer(t, cfg)
+
+	// Mutate the index so the snapshot covers appends and deletes: two
+	// far-away probes appended, one of them tombstoned.
+	probe := make([]float64, cfg.dim)
+	for i := range probe {
+		probe[i] = 50
+	}
+	var app struct {
+		IDs []int32 `json:"ids"`
+	}
+	post(t, ts.URL+"/append", map[string]any{"points": [][]float64{probe, probe}}, http.StatusOK, &app)
+	post(t, ts.URL+"/delete", map[string]any{"ids": app.IDs[:1]}, http.StatusOK, nil)
+
+	// Record pre-restart answers for a handful of queries.
+	points := seedDense(cfg.n, cfg.dim, cfg.seed)
+	queries := [][]float64{probe}
+	for qi := 0; qi < 8; qi++ {
+		queries = append(queries, toFloats(points[qi*41]))
+	}
+	before := make([][]int32, len(queries))
+	for i, q := range queries {
+		var res queryResult
+		post(t, ts.URL+"/query", map[string]any{"point": q}, http.StatusOK, &res)
+		before[i] = sortedIDs(res.IDs)
+	}
+	var preStats struct {
+		Live       int `json:"live"`
+		Tombstones int `json:"tombstones"`
+	}
+	get(t, ts.URL+"/stats", &preStats)
+
+	var snap struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+		Live  int    `json:"live"`
+	}
+	post(t, ts.URL+"/snapshot", nil, http.StatusOK, &snap)
+	if snap.Path != cfg.snapshot || snap.Bytes <= 0 || snap.Live != preStats.Live {
+		t.Fatalf("snapshot response = %+v, want path %s and live %d", snap, cfg.snapshot, preStats.Live)
+	}
+
+	// "Restart": a second server from the same config finds the
+	// snapshot and boots from it instead of rebuilding.
+	ts2 := startServer(t, cfg)
+	var postStats struct {
+		Live       int  `json:"live"`
+		Tombstones int  `json:"tombstones"`
+		WarmStart  bool `json:"warm_start"`
+	}
+	get(t, ts2.URL+"/stats", &postStats)
+	if !postStats.WarmStart {
+		t.Fatal("restarted server did not boot from the snapshot")
+	}
+	if postStats.Live != preStats.Live {
+		t.Fatalf("restarted live count %d, want %d", postStats.Live, preStats.Live)
+	}
+	// Tombstoned points are compacted out of the snapshot, so the
+	// restarted server reports them via the preserved tombstone set.
+	if postStats.Tombstones != preStats.Tombstones {
+		t.Fatalf("restarted tombstones %d, want %d", postStats.Tombstones, preStats.Tombstones)
+	}
+	for i, q := range queries {
+		var res queryResult
+		post(t, ts2.URL+"/query", map[string]any{"point": q}, http.StatusOK, &res)
+		if !slices.Equal(sortedIDs(res.IDs), before[i]) {
+			t.Fatalf("query %d after restart: ids %v, want %v", i, res.IDs, before[i])
+		}
+	}
+	// The surviving probe is still there, the tombstoned one still gone.
+	var res queryResult
+	post(t, ts2.URL+"/query", map[string]any{"point": probe}, http.StatusOK, &res)
+	if !slices.Equal(res.IDs, app.IDs[1:]) {
+		t.Fatalf("probe query after restart = %v, want %v", res.IDs, app.IDs[1:])
+	}
+
+	// Appends on the restarted server continue the id sequence.
+	var app2 struct {
+		IDs []int32 `json:"ids"`
+	}
+	post(t, ts2.URL+"/append", map[string]any{"points": [][]float64{probe}}, http.StatusOK, &app2)
+	if len(app2.IDs) != 1 || app2.IDs[0] != app.IDs[1]+1 {
+		t.Fatalf("append after restart = %v, want id %d", app2.IDs, app.IDs[1]+1)
+	}
+}
+
+// TestSnapshotEndpointValidation covers the /snapshot error paths.
+func TestSnapshotEndpointValidation(t *testing.T) {
+	// Without -snapshot the endpoint refuses: the write path must be
+	// operator-configured, never client-supplied.
+	ts := startServer(t, testConfig())
+	post(t, ts.URL+"/snapshot", nil, http.StatusBadRequest, nil)
+
+	// A client-supplied path is ignored, not honored.
+	adhoc := filepath.Join(t.TempDir(), "adhoc.snap")
+	post(t, ts.URL+"/snapshot", map[string]any{"path": adhoc}, http.StatusBadRequest, nil)
+	if _, err := os.Stat(adhoc); err == nil {
+		t.Fatal("client-supplied snapshot path was written")
+	}
+
+	// An unwritable configured path reports a server-side error.
+	cfg := testConfig()
+	cfg.snapshot = "/nonexistent-dir/x.snap"
+	ts2 := startServer(t, cfg)
+	post(t, ts2.URL+"/snapshot", nil, http.StatusInternalServerError, nil)
+}
+
+// TestSnapshotHammingRestart exercises the binary-point warm-restart
+// path too.
+func TestSnapshotHammingRestart(t *testing.T) {
+	cfg := testConfig()
+	cfg.metric = "hamming"
+	cfg.dim = 64
+	cfg.radius = 8
+	cfg.snapshot = filepath.Join(t.TempDir(), "ham.snap")
+	ts := startServer(t, cfg)
+
+	points := seedBinary(cfg.n, cfg.dim, cfg.seed)
+	q := toBits(points[7])
+	var before queryResult
+	post(t, ts.URL+"/query", map[string]any{"point": q}, http.StatusOK, &before)
+	post(t, ts.URL+"/snapshot", nil, http.StatusOK, nil)
+
+	ts2 := startServer(t, cfg)
+	var after queryResult
+	post(t, ts2.URL+"/query", map[string]any{"point": q}, http.StatusOK, &after)
+	if !slices.Equal(sortedIDs(after.IDs), sortedIDs(before.IDs)) {
+		t.Fatalf("hamming restart: ids %v != %v", after.IDs, before.IDs)
 	}
 }

@@ -26,10 +26,11 @@ type JSONFigure struct {
 // in production order. cmd/hybridbench writes it via -json so the perf
 // trajectory can be tracked across commits (BENCH_*.json files).
 type JSONReport struct {
-	Schema  string       `json:"schema"`
-	Config  Config       `json:"config"`
-	Table1  []Table1Row  `json:"table1,omitempty"`
-	Figures []JSONFigure `json:"figures,omitempty"`
+	Schema  string         `json:"schema"`
+	Config  Config         `json:"config"`
+	Table1  []Table1Row    `json:"table1,omitempty"`
+	Figures []JSONFigure   `json:"figures,omitempty"`
+	Persist *PersistResult `json:"persist,omitempty"`
 }
 
 // NewJSONReport starts an empty report for the given configuration.
@@ -45,6 +46,9 @@ func (r *JSONReport) AddTable1(rows []Table1Row) { r.Table1 = rows }
 func (r *JSONReport) AddFigure(id string, calibrated bool, res *Fig2Result) {
 	r.Figures = append(r.Figures, JSONFigure{ID: id, Calibrated: calibrated, Fig2Result: res})
 }
+
+// AddPersist records the build-once-load-many experiment of the run.
+func (r *JSONReport) AddPersist(res *PersistResult) { r.Persist = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

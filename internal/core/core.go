@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 	"time"
@@ -110,6 +111,7 @@ var DefaultCostModel = CostModel{Alpha: 1, Beta: 8}
 type Index[P any] struct {
 	points []P
 	dist   distance.Func[P]
+	family lsh.Family[P]
 	radius float64
 	delta  float64
 	k      int
@@ -190,6 +192,7 @@ func NewIndex[P any](points []P, cfg Config[P]) (*Index[P], error) {
 	ix := &Index[P]{
 		points: points,
 		dist:   cfg.Distance,
+		family: cfg.Family,
 		radius: cfg.Radius,
 		delta:  cfg.Delta,
 		k:      k,
@@ -197,11 +200,78 @@ func NewIndex[P any](points []P, cfg Config[P]) (*Index[P], error) {
 		cost:   cfg.Cost,
 		tables: tables,
 	}
-	n := len(points)
-	m := cfg.HLLRegisters
+	ix.initStatePool()
+	return ix, nil
+}
+
+// initStatePool wires the per-query scratch pool; both NewIndex and
+// Restore call it once the point count and sketch geometry are known.
+func (ix *Index[P]) initStatePool() {
+	n := len(ix.points)
+	m := ix.tables.Params().HLLRegisters
 	ix.states.New = func() any {
 		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
 	}
+}
+
+// RestoreConfig carries the decoded scalar state of a persisted Index;
+// the structural state (points, tables) travels alongside in Restore.
+type RestoreConfig[P any] struct {
+	// Family is the reconstructed LSH family (hash functions themselves
+	// live in the tables' hashers; the family is retained for its
+	// collision-probability curve).
+	Family lsh.Family[P]
+	// Distance is the metric of the rNNR instance.
+	Distance distance.Func[P]
+	// Radius, Delta, P1 and Cost are the saved index's parameters; the
+	// concatenation length k is taken from the tables' Params.
+	Radius, Delta, P1 float64
+	Cost              CostModel
+}
+
+// Restore reassembles an Index from a decoded snapshot without
+// rebuilding: the tables (hashers, buckets, sketches) are used as-is, so
+// the restored index answers queries id-for-id identically to the saved
+// one. Unlike NewIndex it accepts an empty point set (a fully compacted
+// shard) and a degenerate P1 (the saved index may have been built with
+// an explicit K).
+func Restore[P any](points []P, tables *lsh.Tables[P], cfg RestoreConfig[P]) (*Index[P], error) {
+	if cfg.Family == nil {
+		return nil, fmt.Errorf("core: Restore with nil family")
+	}
+	if cfg.Distance == nil {
+		return nil, fmt.Errorf("core: Restore with nil distance")
+	}
+	if tables == nil {
+		return nil, fmt.Errorf("core: Restore with nil tables")
+	}
+	if tables.N() != len(points) {
+		return nil, fmt.Errorf("core: Restore with %d points but tables over %d", len(points), tables.N())
+	}
+	if !(cfg.Radius > 0) || math.IsInf(cfg.Radius, 0) {
+		return nil, fmt.Errorf("core: Restore radius = %v, want positive and finite", cfg.Radius)
+	}
+	if !(cfg.Delta > 0 && cfg.Delta < 1) {
+		return nil, fmt.Errorf("core: Restore delta = %v, want in (0,1)", cfg.Delta)
+	}
+	if !(cfg.P1 >= 0 && cfg.P1 <= 1) {
+		return nil, fmt.Errorf("core: Restore p1 = %v, want in [0,1]", cfg.P1)
+	}
+	if !cfg.Cost.Valid() || math.IsInf(cfg.Cost.Alpha, 0) || math.IsInf(cfg.Cost.Beta, 0) {
+		return nil, fmt.Errorf("core: Restore cost = %+v, want positive finite constants", cfg.Cost)
+	}
+	ix := &Index[P]{
+		points: points,
+		dist:   cfg.Distance,
+		family: cfg.Family,
+		radius: cfg.Radius,
+		delta:  cfg.Delta,
+		k:      tables.Params().K,
+		p1:     cfg.P1,
+		cost:   cfg.Cost,
+		tables: tables,
+	}
+	ix.initStatePool()
 	return ix, nil
 }
 
@@ -213,6 +283,18 @@ func (ix *Index[P]) Radius() float64 { return ix.radius }
 
 // K returns the concatenation length in use.
 func (ix *Index[P]) K() int { return ix.k }
+
+// Delta returns the per-point failure probability the index was built
+// for.
+func (ix *Index[P]) Delta() float64 { return ix.delta }
+
+// Family returns the LSH family the index draws its hash functions
+// from.
+func (ix *Index[P]) Family() lsh.Family[P] { return ix.family }
+
+// Points exposes the stored point slice (read-only; mutating it corrupts
+// the index). It exists for serialization.
+func (ix *Index[P]) Points() []P { return ix.points }
 
 // L returns the number of hash tables.
 func (ix *Index[P]) L() int { return ix.tables.L() }

@@ -113,6 +113,26 @@ func (s *Sketch) Merge(o *Sketch) {
 	}
 }
 
+// FromRegisters reconstructs a sketch from a register array previously
+// obtained via Registers (e.g. from a persisted snapshot). The slice is
+// copied. It returns an error — not a panic, since the input typically
+// comes from external storage — if the register count is not a power of
+// two in [MinM, MaxM] or any register exceeds the maximal rank 64.
+func FromRegisters(regs []uint8) (*Sketch, error) {
+	m := len(regs)
+	if m < MinM || m > MaxM || m&(m-1) != 0 {
+		return nil, fmt.Errorf("hll: %d registers, want a power of two in [%d, %d]", m, MinM, MaxM)
+	}
+	s := &Sketch{p: uint8(bits.TrailingZeros(uint(m))), regs: make([]uint8, m)}
+	for i, r := range regs {
+		if r > 64 {
+			return nil, fmt.Errorf("hll: register %d holds rank %d, want <= 64", i, r)
+		}
+		s.regs[i] = r
+	}
+	return s, nil
+}
+
 // Clone returns an independent copy of s.
 func (s *Sketch) Clone() *Sketch {
 	c := &Sketch{p: s.p, regs: make([]uint8, len(s.regs))}

@@ -55,6 +55,22 @@ func (f *BitSampling) NewHasher(k int, r *rng.Rand) Hasher[vector.Binary] {
 	return &BitSamplingHasher{bits: bits}
 }
 
+// RestoreBitSamplingHasher reassembles a hasher from coordinate indices
+// previously obtained via Bits (e.g. from a persisted snapshot). dim is
+// the ambient dimension the indices must stay inside; the slice is
+// referenced, not copied.
+func RestoreBitSamplingHasher(dim int, bits []int) (*BitSamplingHasher, error) {
+	if len(bits) < 1 {
+		return nil, fmt.Errorf("lsh: RestoreBitSamplingHasher with no sampled bits")
+	}
+	for i, b := range bits {
+		if b < 0 || b >= dim {
+			return nil, fmt.Errorf("lsh: RestoreBitSamplingHasher bit %d samples coordinate %d outside [0,%d)", i, b, dim)
+		}
+	}
+	return &BitSamplingHasher{bits: bits}, nil
+}
+
 // BitSamplingHasher is one g-function of the bit-sampling family: the
 // concatenation of k sampled coordinates.
 type BitSamplingHasher struct {

@@ -108,6 +108,31 @@ func orthogonalUnit(u vector.Dense, r *rng.Rand) vector.Dense {
 	}
 }
 
+// RestoreCrossPolytope reassembles the family from a calibrated curve
+// previously obtained via ProbsTable (e.g. from a persisted snapshot),
+// skipping the Monte-Carlo calibration. The curve must hold at least two
+// probabilities in [0, 1]; it is copied and re-clamped to monotone
+// non-increase.
+func RestoreCrossPolytope(dim int, probs []float64) (*CrossPolytope, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("lsh: RestoreCrossPolytope dim = %d, want >= 2", dim)
+	}
+	if len(probs) < 2 {
+		return nil, fmt.Errorf("lsh: RestoreCrossPolytope with %d curve points, want >= 2", len(probs))
+	}
+	f := &CrossPolytope{dim: dim, probs: make([]float64, len(probs))}
+	for i, p := range probs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("lsh: RestoreCrossPolytope curve point %d = %v, want in [0, 1]", i, p)
+		}
+		f.probs[i] = p
+		if i > 0 && f.probs[i] > f.probs[i-1] {
+			f.probs[i] = f.probs[i-1]
+		}
+	}
+	return f, nil
+}
+
 // Name implements Family.
 func (f *CrossPolytope) Name() string { return "crosspolytope" }
 
@@ -155,12 +180,40 @@ func (f *CrossPolytope) NewHasher(k int, r *rng.Rand) Hasher[vector.Dense] {
 	return h
 }
 
+// RestoreCrossPolytopeHasher reassembles a hasher from rotation matrices
+// previously obtained via Rotations (e.g. from a persisted snapshot).
+// Each rotation must be a dim×dim matrix; the slices are referenced, not
+// copied.
+func RestoreCrossPolytopeHasher(dim int, rotations [][]vector.Dense) (*CrossPolytopeHasher, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("lsh: RestoreCrossPolytopeHasher dim = %d, want >= 2", dim)
+	}
+	if len(rotations) < 1 {
+		return nil, fmt.Errorf("lsh: RestoreCrossPolytopeHasher with no rotations")
+	}
+	for i, rows := range rotations {
+		if len(rows) != dim {
+			return nil, fmt.Errorf("lsh: RestoreCrossPolytopeHasher rotation %d has %d rows, want %d", i, len(rows), dim)
+		}
+		for ri, row := range rows {
+			if len(row) != dim {
+				return nil, fmt.Errorf("lsh: RestoreCrossPolytopeHasher rotation %d row %d has dim %d, want %d", i, ri, len(row), dim)
+			}
+		}
+	}
+	return &CrossPolytopeHasher{dim: dim, rotations: rotations}, nil
+}
+
 // CrossPolytopeHasher is one g-function: k rotations, each contributing
 // the signed index of the dominant coordinate.
 type CrossPolytopeHasher struct {
 	dim       int
 	rotations [][]vector.Dense
 }
+
+// Rotations returns the k rotation matrices, each dim rows of dim
+// entries (read-only by convention). It exists for serialization.
+func (h *CrossPolytopeHasher) Rotations() [][]vector.Dense { return h.rotations }
 
 // K implements Hasher.
 func (h *CrossPolytopeHasher) K() int { return len(h.rotations) }

@@ -34,6 +34,9 @@ func NewMinHash(dim int) *MinHash {
 // Name implements Family.
 func (f *MinHash) Name() string { return "minhash" }
 
+// Dim returns the ambient dimension.
+func (f *MinHash) Dim() int { return f.dim }
+
 // CollisionProb implements Family: p(dist) = 1 − dist.
 func (f *MinHash) CollisionProb(dist float64) float64 {
 	p := 1 - dist
@@ -60,10 +63,24 @@ func (f *MinHash) NewHasher(k int, r *rng.Rand) Hasher[vector.Binary] {
 	return &MinHashHasher{seeds: seeds}
 }
 
+// RestoreMinHashHasher reassembles a hasher from permutation seeds
+// previously obtained via Seeds (e.g. from a persisted snapshot). The
+// slice is referenced, not copied.
+func RestoreMinHashHasher(seeds []uint64) (*MinHashHasher, error) {
+	if len(seeds) < 1 {
+		return nil, fmt.Errorf("lsh: RestoreMinHashHasher with no seeds")
+	}
+	return &MinHashHasher{seeds: seeds}, nil
+}
+
 // MinHashHasher is one g-function: the concatenation of k min-hash values.
 type MinHashHasher struct {
 	seeds []uint64
 }
+
+// Seeds returns the k permutation seeds (read-only by convention). It
+// exists for serialization.
+func (h *MinHashHasher) Seeds() []uint64 { return h.seeds }
 
 // K implements Hasher.
 func (h *MinHashHasher) K() int { return len(h.seeds) }

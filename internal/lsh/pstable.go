@@ -57,6 +57,9 @@ func (f *PStable) Name() string {
 // W returns the slot width.
 func (f *PStable) W() float64 { return f.w }
 
+// Dim returns the ambient dimension.
+func (f *PStable) Dim() int { return f.dim }
+
 // CollisionProb implements Family using the closed forms of Datar et al.
 //
 // For distance c and t = w/c:
@@ -113,12 +116,40 @@ func (f *PStable) NewPStableHasher(k int, r *rng.Rand) *PStableHasher {
 	return h
 }
 
+// RestorePStableHasher reassembles a hasher from parameters previously
+// obtained via W, Projections and Offsets (e.g. from a persisted
+// snapshot). The slices are referenced, not copied. It returns an error
+// on inconsistent or degenerate parameters.
+func RestorePStableHasher(w float64, a []vector.Dense, b []float64) (*PStableHasher, error) {
+	if len(a) < 1 || len(a) != len(b) {
+		return nil, fmt.Errorf("lsh: RestorePStableHasher with %d projections and %d offsets, want equal and >= 1", len(a), len(b))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return nil, fmt.Errorf("lsh: RestorePStableHasher w = %v, want positive and finite", w)
+	}
+	dim := len(a[0])
+	for i, proj := range a {
+		if len(proj) != dim || dim == 0 {
+			return nil, fmt.Errorf("lsh: RestorePStableHasher projection %d has dim %d, want %d > 0", i, len(proj), dim)
+		}
+	}
+	return &PStableHasher{w: w, a: a, b: b}, nil
+}
+
 // PStableHasher is one g-function of the p-stable family.
 type PStableHasher struct {
 	w float64
 	a []vector.Dense
 	b []float64
 }
+
+// Projections returns the k projection vectors a_i (read-only by
+// convention). It exists for serialization.
+func (h *PStableHasher) Projections() []vector.Dense { return h.a }
+
+// Offsets returns the k uniform offsets b_i (read-only by convention).
+// It exists for serialization.
+func (h *PStableHasher) Offsets() []float64 { return h.b }
 
 // K implements Hasher.
 func (h *PStableHasher) K() int { return len(h.a) }

@@ -49,6 +49,9 @@ func (f *SimHash) Name() string {
 	return "simhash-cosine"
 }
 
+// Dim returns the ambient dimension.
+func (f *SimHash) Dim() int { return f.dim }
+
 // CollisionProb implements Family.
 func (f *SimHash) CollisionProb(dist float64) float64 {
 	var theta float64
@@ -94,11 +97,40 @@ func gaussianPlanes(dim, k int, r *rng.Rand) []vector.Dense {
 	return planes
 }
 
+// validatePlanes checks a deserialized plane set: at least one plane,
+// all of the same non-zero dimension.
+func validatePlanes(planes []vector.Dense, who string) error {
+	if len(planes) < 1 {
+		return fmt.Errorf("lsh: %s with no planes", who)
+	}
+	dim := len(planes[0])
+	for i, p := range planes {
+		if len(p) != dim || dim == 0 {
+			return fmt.Errorf("lsh: %s plane %d has dim %d, want %d > 0", who, i, len(p), dim)
+		}
+	}
+	return nil
+}
+
+// RestoreSimHashHasher reassembles a sparse-vector hasher from planes
+// previously obtained via Planes (e.g. from a persisted snapshot). The
+// slice is referenced, not copied.
+func RestoreSimHashHasher(planes []vector.Dense) (*SimHashHasher, error) {
+	if err := validatePlanes(planes, "RestoreSimHashHasher"); err != nil {
+		return nil, err
+	}
+	return &SimHashHasher{planes: planes}, nil
+}
+
 // SimHashHasher is one g-function: the sign pattern of k hyperplane
 // projections, packed to a 64-bit key.
 type SimHashHasher struct {
 	planes []vector.Dense
 }
+
+// Planes returns the k hyperplane normals (read-only by convention). It
+// exists for serialization.
+func (h *SimHashHasher) Planes() []vector.Dense { return h.planes }
 
 // K implements Hasher.
 func (h *SimHashHasher) K() int { return len(h.planes) }
@@ -172,10 +204,23 @@ func (f *SimHashDense) NewHasher(k int, r *rng.Rand) Hasher[vector.Dense] {
 	return &SimHashDenseHasher{planes: gaussianPlanes(f.dim, k, r)}
 }
 
+// RestoreSimHashDenseHasher is RestoreSimHashHasher for the dense-vector
+// twin.
+func RestoreSimHashDenseHasher(planes []vector.Dense) (*SimHashDenseHasher, error) {
+	if err := validatePlanes(planes, "RestoreSimHashDenseHasher"); err != nil {
+		return nil, err
+	}
+	return &SimHashDenseHasher{planes: planes}, nil
+}
+
 // SimHashDenseHasher is the dense-vector g-function.
 type SimHashDenseHasher struct {
 	planes []vector.Dense
 }
+
+// Planes returns the k hyperplane normals (read-only by convention). It
+// exists for serialization.
+func (h *SimHashDenseHasher) Planes() []vector.Dense { return h.planes }
 
 // K implements Hasher.
 func (h *SimHashDenseHasher) K() int { return len(h.planes) }

@@ -147,6 +147,38 @@ func buildOne[P any](points []P, fam Family[P], p Params, seed uint64) Table[P] 
 	return Table[P]{Hasher: hasher, Buckets: buckets}
 }
 
+// RestoreTables reassembles a Tables from decoded parts (e.g. a
+// persisted snapshot): the construction parameters, the L tables with
+// their hashers and buckets, and the indexed point count n. Unlike
+// Build, n may be 0 (a fully compacted shard); the tables slice is
+// referenced, not copied. Callers are responsible for bucket ids lying
+// in [0, n) and sketches matching HLLRegisters — persist validates both
+// while decoding.
+func RestoreTables[P any](p Params, tables []Table[P], n int) (*Tables[P], error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(tables) != p.L {
+		return nil, fmt.Errorf("lsh: RestoreTables with %d tables, Params.L = %d", len(tables), p.L)
+	}
+	if n < 0 || n > 1<<31-1 {
+		return nil, fmt.Errorf("lsh: RestoreTables with n = %d, want in [0, 2^31)", n)
+	}
+	for j := range tables {
+		if tables[j].Hasher == nil {
+			return nil, fmt.Errorf("lsh: RestoreTables table %d has no hasher", j)
+		}
+		if tables[j].Hasher.K() != p.K {
+			return nil, fmt.Errorf("lsh: RestoreTables table %d hasher has k = %d, Params.K = %d", j, tables[j].Hasher.K(), p.K)
+		}
+		if tables[j].Buckets == nil {
+			tables[j].Buckets = make(map[uint64]*Bucket)
+		}
+	}
+	return &Tables[P]{params: p, tables: tables, n: n}, nil
+}
+
 // Append hashes additional points into every table, assigning them ids
 // starting at the current N, and maintains the per-bucket sketches: ids
 // are folded into existing sketches, and buckets that cross the threshold

@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/lsh"
+	"repro/internal/vector"
+)
+
+// goldenPath holds a checked-in v1 snapshot. The test below requires
+// today's reader to accept it and today's writer to reproduce it byte
+// for byte, so any change to the wire layout forces a conscious
+// Version bump (and a new golden file for the new version).
+const goldenPath = "testdata/golden-l2-v1.snap"
+
+// buildGoldenIndex builds the exact index the golden file was generated
+// from: fully seeded, so the build is reproducible.
+func buildGoldenIndex(t *testing.T) *core.Index[vector.Dense] {
+	t.Helper()
+	ix, err := core.NewIndex(denseData(48, 6, 1234), core.Config[vector.Dense]{
+		Family:       lsh.NewPStableL2(6, 0.8),
+		Distance:     distance.L2,
+		Radius:       0.4,
+		Delta:        0.1,
+		L:            4,
+		HLLRegisters: 16,
+		HLLThreshold: 3,
+		Cost:         core.CostModel{Alpha: 1, Beta: 8},
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestGoldenSnapshot(t *testing.T) {
+	ix := buildGoldenIndex(t)
+	var fresh bytes.Buffer
+	if _, err := WriteIndex(&fresh, MetricL2, ix); err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("PERSIST_WRITE_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, fresh.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, fresh.Len())
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (regenerate with PERSIST_WRITE_GOLDEN=1 after a conscious format change): %v", err)
+	}
+
+	// Today's writer must still produce the v1 bytes exactly.
+	if !bytes.Equal(golden, fresh.Bytes()) {
+		t.Fatalf("writer output drifted from the checked-in v1 snapshot (%d vs %d bytes); if the format changed, bump persist.Version and regenerate the golden file",
+			len(golden), fresh.Len())
+	}
+
+	// Today's reader must accept the checked-in bytes and reproduce
+	// them on re-encode.
+	loaded, meta, err := ReadIndex[vector.Dense](bytes.NewReader(golden), MetricL2)
+	if err != nil {
+		t.Fatalf("reader rejects the golden v1 snapshot: %v", err)
+	}
+	if meta.N != 48 || meta.Dim != 6 || meta.L != 4 || meta.Seed != 42 {
+		t.Fatalf("golden meta = %+v", meta)
+	}
+	var reenc bytes.Buffer
+	if _, err := WriteIndex(&reenc, MetricL2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, reenc.Bytes()) {
+		t.Fatal("re-encoding the decoded golden snapshot does not reproduce its bytes")
+	}
+
+	// And the decoded index answers queries exactly like the freshly
+	// built one it snapshots.
+	assertIdentical(t, ix, loaded, denseData(20, 6, 4321))
+}
+
+// TestGoldenVersionMismatch and TestGoldenWrongMagic are the
+// error-path tests on the checked-in bytes themselves.
+func TestGoldenVersionMismatch(t *testing.T) {
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("golden snapshot missing: %v", err)
+	}
+	mut := slices.Clone(golden)
+	mut[len(magic)]++ // version u32 LSB: 1 -> 2
+	if _, _, err := ReadIndex[vector.Dense](bytes.NewReader(mut), MetricL2); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestGoldenWrongMagic(t *testing.T) {
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("golden snapshot missing: %v", err)
+	}
+	mut := slices.Clone(golden)
+	copy(mut, "not-a-snapshot")
+	if _, _, err := ReadIndex[vector.Dense](bytes.NewReader(mut), MetricL2); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}

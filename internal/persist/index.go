@@ -1,0 +1,338 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hll"
+	"repro/internal/lsh"
+)
+
+// WriteIndex writes a complete snapshot of ix under the given metric
+// identifier and returns the number of bytes written. The output is
+// deterministic: equal indexes (same points, same drawn hash functions)
+// serialize to equal bytes. The index must not be mutated concurrently.
+func WriteIndex[P any](w io.Writer, metric string, ix *core.Index[P]) (int64, error) {
+	c, err := codecFor[P](metric)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countWriter{w: w}
+	if err := writeHeader(cw, kindIndex); err != nil {
+		return cw.n, err
+	}
+	if err := writeIndexBody(cw, c, ix, ix.Points()); err != nil {
+		return cw.n, err
+	}
+	if err := writeSection(cw, "end!", nil); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadIndex reads a plain-index snapshot, requiring it to hold the
+// given metric, and reassembles the index without rebuilding. The
+// returned index answers queries id-for-id identically to the one that
+// was saved.
+func ReadIndex[P any](r io.Reader, metric string) (*core.Index[P], Meta, error) {
+	c, err := codecFor[P](metric)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	kind, err := readHeader(r)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if kind != kindIndex {
+		return nil, Meta{}, corrupt("snapshot holds a sharded index; use the sharded reader")
+	}
+	ix, m, err := readIndexBody(r, c)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if _, err := readSection(r, "end!"); err != nil {
+		return nil, Meta{}, err
+	}
+	return ix, publicMeta(m, 0), nil
+}
+
+// publicMeta converts the wire meta to the exported summary.
+func publicMeta(m *indexMeta, shards int) Meta {
+	return Meta{
+		Metric: m.metric,
+		Dim:    m.dim,
+		N:      m.n,
+		Radius: m.radius,
+		Delta:  m.delta,
+		K:      m.params.K,
+		L:      m.params.L,
+		Shards: shards,
+		Seed:   m.params.Seed,
+	}
+}
+
+// writeIndexBody writes the "meta", "pnts" and L "tabl" sections of one
+// index. points is passed separately so the sharded writer can
+// substitute a compacted point set (with bucketOverride supplying the
+// matching compacted tables).
+func writeIndexBody[P any](w io.Writer, c *codec[P], ix *core.Index[P], points []P) error {
+	return writeIndexParts(w, c, ix, points, nil)
+}
+
+// writeIndexParts is writeIndexBody with an optional bucket override:
+// when buckets is non-nil, buckets[j] replaces table j's bucket map
+// (the compaction path). The hashers always come from the live index.
+func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points []P, buckets []map[uint64]*lsh.Bucket) error {
+	fam := ix.Family()
+	if fam == nil {
+		return fmt.Errorf("persist: index has no family (built before persistence support?)")
+	}
+	if got := fam.Name(); got != c.familyName {
+		return fmt.Errorf("persist: metric %q expects family %q, index uses %q", c.metric, c.familyName, got)
+	}
+	m := &indexMeta{
+		metric:    c.metric,
+		n:         len(points),
+		radius:    ix.Radius(),
+		delta:     ix.Delta(),
+		p1:        ix.P1(),
+		costAlpha: ix.Cost().Alpha,
+		costBeta:  ix.Cost().Beta,
+		params:    ix.Tables().Params(),
+	}
+	dimmer, ok := fam.(interface{ Dim() int })
+	if !ok {
+		return fmt.Errorf("persist: family %q does not report its dimension", fam.Name())
+	}
+	m.dim = dimmer.Dim()
+	if err := c.extra(fam, m); err != nil {
+		return err
+	}
+
+	var e enc
+	if err := encodeIndexMeta(&e, m); err != nil {
+		return err
+	}
+	if err := writeSection(w, "meta", e.b); err != nil {
+		return err
+	}
+
+	e = enc{}
+	if err := c.writePoints(&e, m, points); err != nil {
+		return err
+	}
+	if err := writeSection(w, "pnts", e.b); err != nil {
+		return err
+	}
+
+	for j := 0; j < ix.Tables().L(); j++ {
+		tab := ix.Tables().Table(j)
+		bm := tab.Buckets
+		if buckets != nil {
+			bm = buckets[j]
+		}
+		e = enc{}
+		if err := c.writeHasher(&e, m, tab.Hasher); err != nil {
+			return err
+		}
+		if err := writeBuckets(&e, bm, m.n); err != nil {
+			return err
+		}
+		if err := writeSection(w, "tabl", e.b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readIndexBody reads the "meta", "pnts" and L "tabl" sections and
+// reassembles the index.
+func readIndexBody[P any](r io.Reader, c *codec[P]) (*core.Index[P], *indexMeta, error) {
+	payload, err := readSection(r, "meta")
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := decodeIndexMeta(payload, c.metric)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	payload, err = readSection(r, "pnts")
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &dec{b: payload}
+	points, err := c.readPoints(d, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := d.done("pnts"); err != nil {
+		return nil, nil, err
+	}
+
+	tables := make([]lsh.Table[P], m.params.L)
+	for j := range tables {
+		payload, err = readSection(r, "tabl")
+		if err != nil {
+			return nil, nil, err
+		}
+		d = &dec{b: payload}
+		hasher, err := c.readHasher(d, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		buckets, err := readBuckets(d, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := d.done("tabl"); err != nil {
+			return nil, nil, err
+		}
+		tables[j] = lsh.Table[P]{Hasher: hasher, Buckets: buckets}
+	}
+
+	lt, err := lsh.RestoreTables(m.params, tables, m.n)
+	if err != nil {
+		return nil, nil, corrupt("restoring tables: %v", err)
+	}
+	fam, err := c.family(m)
+	if err != nil {
+		return nil, nil, corrupt("restoring family: %v", err)
+	}
+	ix, err := core.Restore(points, lt, core.RestoreConfig[P]{
+		Family:   fam,
+		Distance: c.dist,
+		Radius:   m.radius,
+		Delta:    m.delta,
+		P1:       m.p1,
+		Cost:     core.CostModel{Alpha: m.costAlpha, Beta: m.costBeta},
+	})
+	if err != nil {
+		return nil, nil, corrupt("restoring index: %v", err)
+	}
+	return ix, m, nil
+}
+
+// ---- meta section ----
+
+func encodeIndexMeta(e *enc, m *indexMeta) error {
+	e.str(m.metric)
+	e.u32(uint32(m.dim))
+	e.u64(uint64(m.n))
+	e.f64(m.radius)
+	e.f64(m.delta)
+	e.f64(m.p1)
+	e.f64(m.costAlpha)
+	e.f64(m.costBeta)
+	e.u32(uint32(m.params.K))
+	e.u32(uint32(m.params.L))
+	e.u32(uint32(m.params.HLLRegisters))
+	e.u32(uint32(m.params.HLLThreshold))
+	e.u64(m.params.Seed)
+	switch m.metric {
+	case MetricL2, MetricL1:
+		e.f64(m.w)
+	case MetricAngular:
+		e.u32(uint32(len(m.curve)))
+		for _, p := range m.curve {
+			e.f64(p)
+		}
+	}
+	return nil
+}
+
+func decodeIndexMeta(payload []byte, wantMetric string) (*indexMeta, error) {
+	d := &dec{b: payload}
+	m := &indexMeta{}
+	m.metric = d.str()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if m.metric != wantMetric {
+		return nil, fmt.Errorf("%w: snapshot holds metric %q, want %q", ErrMetric, m.metric, wantMetric)
+	}
+	m.dim = int(d.u32())
+	m.n = int(d.u64())
+	m.radius = d.f64()
+	m.delta = d.f64()
+	m.p1 = d.f64()
+	m.costAlpha = d.f64()
+	m.costBeta = d.f64()
+	m.params.K = int(d.u32())
+	m.params.L = int(d.u32())
+	m.params.HLLRegisters = int(d.u32())
+	m.params.HLLThreshold = int(d.u32())
+	m.params.Seed = d.u64()
+	switch wantMetric {
+	case MetricL2, MetricL1:
+		m.w = d.f64()
+	case MetricAngular:
+		nc := int(d.u32())
+		if d.err == nil && (nc < 2 || nc > maxCurve) {
+			return nil, corrupt("calibration curve has %d points, want 2..%d", nc, maxCurve)
+		}
+		if !d.need(nc * 8) {
+			return nil, d.err
+		}
+		m.curve = make([]float64, nc)
+		for i := range m.curve {
+			m.curve[i] = d.f64()
+			if math.IsNaN(m.curve[i]) || m.curve[i] < 0 || m.curve[i] > 1 {
+				return nil, corrupt("calibration curve point %d = %v outside [0,1]", i, m.curve[i])
+			}
+		}
+	}
+	if err := d.done("meta"); err != nil {
+		return nil, err
+	}
+	return m, validateMeta(m)
+}
+
+func validateMeta(m *indexMeta) error {
+	if m.dim < 1 || m.dim > maxDim {
+		return corrupt("dim %d outside [1,%d]", m.dim, maxDim)
+	}
+	if m.n < 0 || m.n > 1<<31-1 {
+		return corrupt("point count %d outside [0,2^31)", m.n)
+	}
+	if !(m.radius > 0) || math.IsInf(m.radius, 0) {
+		return corrupt("radius %v not positive and finite", m.radius)
+	}
+	if !(m.delta > 0 && m.delta < 1) {
+		return corrupt("delta %v outside (0,1)", m.delta)
+	}
+	if !(m.p1 >= 0 && m.p1 <= 1) {
+		return corrupt("p1 %v outside [0,1]", m.p1)
+	}
+	if !(m.costAlpha > 0) || math.IsInf(m.costAlpha, 0) || !(m.costBeta > 0) || math.IsInf(m.costBeta, 0) {
+		return corrupt("cost model (%v, %v) not positive and finite", m.costAlpha, m.costBeta)
+	}
+	if m.params.K < 1 || m.params.K > maxK {
+		return corrupt("k %d outside [1,%d]", m.params.K, maxK)
+	}
+	if m.params.L < 1 || m.params.L > maxTables {
+		return corrupt("L %d outside [1,%d]", m.params.L, maxTables)
+	}
+	if mr := m.params.HLLRegisters; mr < hll.MinM || mr > hll.MaxM || mr&(mr-1) != 0 {
+		return corrupt("HLL registers %d not a power of two in [%d,%d]", mr, hll.MinM, hll.MaxM)
+	}
+	if m.params.HLLThreshold < 0 {
+		return corrupt("HLL threshold %d negative", m.params.HLLThreshold)
+	}
+	if m.params.HLLThreshold == 0 {
+		m.params.HLLThreshold = m.params.HLLRegisters
+	}
+	switch m.metric {
+	case MetricL2, MetricL1:
+		if !(m.w > 0) || math.IsInf(m.w, 0) {
+			return corrupt("slot width %v not positive and finite", m.w)
+		}
+	case MetricAngular:
+		if m.dim < 2 {
+			return corrupt("angular dim %d, want >= 2", m.dim)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+// Package persist implements the hybridlsh-snap/v1 snapshot format: a
+// versioned, length-prefixed binary encoding of a complete hybrid-LSH
+// index — points, configuration, the drawn hash-function parameters of
+// every LSH family, all bucket tables, the per-bucket HyperLogLog
+// registers and the calibrated cost model — so that a loaded index
+// answers queries id-for-id identically to the saved one (same hashes,
+// same sketches, same hybrid decisions) without re-hashing a single
+// point.
+//
+// # Layout
+//
+// A snapshot is a fixed header followed by a stream of CRC-protected
+// sections:
+//
+//	header   := magic[14] ("hybridlsh-snap") | version u32 (1) | kind u8
+//	section  := tag[4] | length u64 | payload[length] | crc32 u32
+//
+// All integers are little-endian; the CRC is IEEE CRC-32 over the
+// payload bytes. kind 1 is a plain index, kind 2 a sharded index.
+//
+// A plain index (kind 1) is the section sequence
+//
+//	"meta"            metric, dim, n, radius, δ, p₁, cost model, (k, L,
+//	                  m, HLL threshold, seed), family extras (p-stable
+//	                  slot width; cross-polytope calibrated curve)
+//	"pnts"            the points (dense: n×dim f32; sparse: per point
+//	                  nnz + sorted idx/val pairs; binary: bit-packed
+//	                  words)
+//	"tabl" × L        per table: the hasher's drawn parameters
+//	                  (projections + offsets, hyperplanes, sampled bits,
+//	                  permutation seeds, or rotations), then the buckets
+//	                  sorted by key — each id list plus, when the bucket
+//	                  carries a sketch, its m HLL registers
+//	"end!"            empty terminator
+//
+// A sharded index (kind 2) is
+//
+//	"smet"            metric, shard count, next global id
+//	"tomb"            sorted tombstoned ids (kept so the id space's
+//	                  holes survive the reload; the points themselves
+//	                  are compacted out of the shards)
+//	("sids" + plain-index sections) × S
+//	"end!"            empty terminator
+//
+// where each shard's "sids" section holds its local→global id map and
+// is followed by the shard's own "meta"/"pnts"/"tabl" sections
+// (per-shard seeds and hash functions are preserved exactly).
+//
+// # Compatibility promise
+//
+// Readers accept exactly the version they were built for; any layout
+// change must bump the version constant, and the golden-snapshot test
+// in this package fails if today's writer drifts from the checked-in
+// v1 bytes. The decoder is hardened against corrupt, truncated and
+// adversarial input: every section is CRC-checked, every count is
+// validated against the bytes actually present before allocation, and
+// every id is range-checked, so malformed input yields an error — never
+// a panic or an unbounded allocation (see FuzzReadSnapshot).
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// FormatName identifies the snapshot format, magic and version
+// together.
+const FormatName = "hybridlsh-snap/v1"
+
+// Version is the format version this package reads and writes. Bump it
+// on any incompatible layout change.
+const Version = 1
+
+// magic opens every snapshot.
+const magic = "hybridlsh-snap"
+
+// Snapshot kinds (the header's kind byte).
+const (
+	kindIndex   = 1 // a plain core index
+	kindSharded = 2 // a sharded index
+)
+
+// Decoder guard rails: no single section, dimension, table count or
+// shard count beyond these is accepted, bounding what adversarial input
+// can make the reader do.
+const (
+	maxSectionLen = 1 << 34 // 16 GiB per section
+	maxDim        = 1 << 24
+	maxTables     = 1 << 16
+	maxK          = 1 << 16
+	maxShards     = 1 << 16
+	maxCurve      = 1 << 16
+)
+
+// Sentinel errors; decode failures wrap one of these.
+var (
+	// ErrBadMagic marks input that is not a hybridlsh snapshot at all.
+	ErrBadMagic = errors.New("persist: not a hybridlsh snapshot (bad magic)")
+	// ErrVersion marks a snapshot written by an incompatible format
+	// version.
+	ErrVersion = errors.New("persist: unsupported snapshot version")
+	// ErrMetric marks a snapshot holding a different metric than the
+	// reader asked for.
+	ErrMetric = errors.New("persist: snapshot metric mismatch")
+	// ErrCorrupt marks structurally invalid input: truncation, CRC
+	// mismatch, impossible counts or out-of-range values.
+	ErrCorrupt = errors.New("persist: corrupt snapshot")
+)
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Metric identifiers recorded in snapshots. They match the root
+// package's index constructors one-to-one.
+const (
+	MetricL2      = "l2"
+	MetricL1      = "l1"
+	MetricCosine  = "cosine"
+	MetricHamming = "hamming"
+	MetricJaccard = "jaccard"
+	MetricAngular = "angular"
+)
+
+// Meta summarizes a decoded snapshot for callers that need its
+// parameters (e.g. cmd/hybridserve sizing its request parsers).
+type Meta struct {
+	// Metric is one of the Metric* identifiers.
+	Metric string
+	// Dim is the ambient point dimension (bits for binary points).
+	Dim int
+	// N is the number of live points in the snapshot.
+	N int
+	// Radius and Delta are the rNNR parameters the index was built for.
+	Radius, Delta float64
+	// K and L are the concatenation length and table count.
+	K, L int
+	// Shards is the partition count (0 for a plain index).
+	Shards int
+	// Seed is the recorded construction seed (the first shard's for a
+	// sharded snapshot).
+	Seed uint64
+}
+
+// ---- header ----
+
+func writeHeader(w io.Writer, kind byte) error {
+	var hdr [len(magic) + 5]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint32(hdr[len(magic):], Version)
+	hdr[len(magic)+4] = kind
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readHeader(r io.Reader) (kind byte, err error) {
+	var hdr [len(magic) + 5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated header (%v)", ErrBadMagic, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return 0, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(magic):]); v != Version {
+		return 0, fmt.Errorf("%w: snapshot has version %d, this reader handles %d", ErrVersion, v, Version)
+	}
+	kind = hdr[len(magic)+4]
+	if kind != kindIndex && kind != kindSharded {
+		return 0, corrupt("unknown snapshot kind %d", kind)
+	}
+	return kind, nil
+}
+
+// ---- sections ----
+
+// writeSection frames one payload: tag, length, bytes, CRC32.
+func writeSection(w io.Writer, tag string, payload []byte) error {
+	if len(tag) != 4 {
+		panic("persist: section tag must be 4 bytes")
+	}
+	var hdr [12]byte
+	copy(hdr[:4], tag)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readSection reads the next section, requires its tag to be wantTag,
+// verifies the CRC and returns the payload. The payload is read
+// incrementally (io.CopyN into a growing buffer), so a truncated file
+// that claims a huge length never causes a huge allocation.
+func readSection(r io.Reader, wantTag string) ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, corrupt("truncated section header (%v)", err)
+	}
+	tag := string(hdr[:4])
+	if tag != wantTag {
+		return nil, corrupt("section %q where %q was expected", tag, wantTag)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	if n > maxSectionLen {
+		return nil, corrupt("section %q claims %d bytes, cap is %d", tag, n, int64(maxSectionLen))
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, corrupt("truncated section %q (%v)", tag, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, corrupt("truncated section %q checksum (%v)", tag, err)
+	}
+	payload := buf.Bytes()
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, corrupt("section %q checksum mismatch (got %08x, want %08x)", tag, got, want)
+	}
+	return payload, nil
+}
+
+// ---- payload encoding ----
+
+// enc accumulates a section payload.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) f32(v float32) {
+	e.u32(math.Float32bits(v))
+}
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	if len(s) > math.MaxUint16 {
+		panic("persist: string too long")
+	}
+	e.b = binary.LittleEndian.AppendUint16(e.b, uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// ---- payload decoding ----
+
+// dec consumes a section payload with a sticky error: after the first
+// failure every read returns a zero value, so call sites can decode
+// linearly and check err (or done) once.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corrupt(format, args...)
+	}
+}
+
+// rem returns the number of unread payload bytes.
+func (d *dec) rem() int { return len(d.b) - d.off }
+
+// need reserves n bytes, failing the decoder if they are not present.
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || d.rem() < n {
+		d.fail("payload truncated: need %d bytes, have %d", n, d.rem())
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i32() int32   { return int32(d.u32()) }
+func (d *dec) f32() float32 { return math.Float32frombits(d.u32()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// count reads a u64 element count and validates it against the bytes
+// remaining in the payload at elemSize bytes per element, so no
+// allocation is ever sized by a count the data cannot back.
+func (d *dec) count(elemSize int, what string) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.rem())/uint64(elemSize) {
+		d.fail("%s count %d exceeds the %d payload bytes left", what, n, d.rem())
+		return 0
+	}
+	return int(n)
+}
+
+// done verifies the payload was consumed exactly.
+func (d *dec) done(section string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.rem() != 0 {
+		return corrupt("section %q has %d trailing bytes", section, d.rem())
+	}
+	return nil
+}
+
+// ---- misc plumbing ----
+
+// countWriter counts bytes for the io.WriterTo-style return values.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteFileAtomic writes a snapshot to path atomically: the payload
+// goes to a temporary file in the same directory, is synced, and is
+// renamed over path only on success, so a crash or error mid-write
+// never leaves a partial snapshot behind. It returns the bytes written.
+func WriteFileAtomic(path string, write func(io.Writer) (int64, error)) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	n, err := write(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return n, nil
+}

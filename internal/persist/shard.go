@@ -1,0 +1,248 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"repro/internal/hll"
+	"repro/internal/lsh"
+	"repro/internal/shard"
+)
+
+// WriteSharded writes a snapshot of a sharded index and returns the
+// number of bytes written. It takes a consistent view of the structure
+// (appends are blocked for the duration; queries keep flowing) and
+// compacts tombstoned points out of every shard: their ids are recorded
+// in the tombstone section so the id space's holes survive the reload,
+// but the points themselves, their bucket entries and their sketch
+// contributions are not serialized.
+func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64, error) {
+	c, err := codecFor[P](metric)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countWriter{w: w}
+	err = s.Snapshot(func(shards []shard.ShardSnapshot[P], nextID int32, tombstones []int32) error {
+		if err := writeHeader(cw, kindSharded); err != nil {
+			return err
+		}
+		var e enc
+		e.str(metric)
+		e.u32(uint32(len(shards)))
+		e.i32(nextID)
+		if err := writeSection(cw, "smet", e.b); err != nil {
+			return err
+		}
+		e = enc{}
+		e.u64(uint64(len(tombstones)))
+		for _, id := range tombstones {
+			e.i32(id)
+		}
+		if err := writeSection(cw, "tomb", e.b); err != nil {
+			return err
+		}
+		tombs := make(map[int32]struct{}, len(tombstones))
+		for _, id := range tombstones {
+			tombs[id] = struct{}{}
+		}
+		for _, sv := range shards {
+			points, ids, buckets := compactShard(sv, tombs)
+			e = enc{}
+			e.u64(uint64(len(ids)))
+			for _, id := range ids {
+				e.i32(id)
+			}
+			if err := writeSection(cw, "sids", e.b); err != nil {
+				return err
+			}
+			if err := writeIndexParts(cw, c, sv.Index, points, buckets); err != nil {
+				return err
+			}
+		}
+		return writeSection(cw, "end!", nil)
+	})
+	return cw.n, err
+}
+
+// compactShard filters a shard's tombstoned points out of its view:
+// the surviving points and global ids are returned along with per-table
+// bucket maps whose local ids are remapped to the compacted positions
+// and whose sketches are rebuilt over the surviving ids (HLLs cannot
+// un-absorb a deletion, so rebuild is the only sound option). When the
+// shard holds no tombstoned point the original (live, read-locked)
+// state is returned without copying.
+func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([]P, []int32, []map[uint64]*lsh.Bucket) {
+	dead := false
+	if len(tombs) > 0 {
+		for _, gid := range sv.IDs {
+			if _, d := tombs[gid]; d {
+				dead = true
+				break
+			}
+		}
+	}
+	if !dead {
+		return sv.Index.Points(), sv.IDs, nil
+	}
+
+	all := sv.Index.Points()
+	remap := make([]int32, len(all)) // old local id -> new local id, -1 = dropped
+	points := make([]P, 0, len(all))
+	ids := make([]int32, 0, len(sv.IDs))
+	for l, gid := range sv.IDs {
+		if _, d := tombs[gid]; d {
+			remap[l] = -1
+			continue
+		}
+		remap[l] = int32(len(points))
+		points = append(points, all[l])
+		ids = append(ids, gid)
+	}
+
+	params := sv.Index.Tables().Params()
+	buckets := make([]map[uint64]*lsh.Bucket, sv.Index.Tables().L())
+	for j := range buckets {
+		src := sv.Index.Tables().Table(j).Buckets
+		dst := make(map[uint64]*lsh.Bucket, len(src))
+		for key, b := range src {
+			kept := make([]int32, 0, len(b.IDs))
+			for _, l := range b.IDs {
+				if nl := remap[l]; nl >= 0 {
+					kept = append(kept, nl)
+				}
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			nb := &lsh.Bucket{IDs: kept}
+			if len(kept) >= params.HLLThreshold {
+				s := hll.New(params.HLLRegisters)
+				for _, id := range kept {
+					s.AddID(uint64(id))
+				}
+				nb.Sketch = s
+			}
+			dst[key] = nb
+		}
+		buckets[j] = dst
+	}
+	return points, ids, buckets
+}
+
+// ReadSharded reads a sharded snapshot, requiring it to hold the given
+// metric, and reassembles the sharded index: per-shard hash functions,
+// buckets and sketches are restored exactly, the global id space keeps
+// its tombstone holes, and appends continue from the saved high-water
+// id mark.
+func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, error) {
+	c, err := codecFor[P](metric)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	kind, err := readHeader(r)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if kind != kindSharded {
+		return nil, Meta{}, corrupt("snapshot holds a plain index; use the plain reader")
+	}
+
+	payload, err := readSection(r, "smet")
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	d := &dec{b: payload}
+	gotMetric := d.str()
+	nshards := int(d.u32())
+	nextID := d.i32()
+	if err := d.done("smet"); err != nil {
+		return nil, Meta{}, err
+	}
+	if gotMetric != metric {
+		return nil, Meta{}, fmt.Errorf("%w: snapshot holds metric %q, want %q", ErrMetric, gotMetric, metric)
+	}
+	if nshards < 1 || nshards > maxShards {
+		return nil, Meta{}, corrupt("shard count %d outside [1,%d]", nshards, maxShards)
+	}
+	if nextID < 0 {
+		return nil, Meta{}, corrupt("next id %d negative", nextID)
+	}
+
+	payload, err = readSection(r, "tomb")
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	d = &dec{b: payload}
+	nt := d.count(4, "tombstone")
+	tombstones := make([]int32, nt)
+	for i := range tombstones {
+		tombstones[i] = d.i32()
+		if tombstones[i] < 0 || tombstones[i] >= nextID {
+			return nil, Meta{}, corrupt("tombstone id %d outside [0,%d)", tombstones[i], nextID)
+		}
+		if i > 0 && tombstones[i] <= tombstones[i-1] {
+			return nil, Meta{}, corrupt("tombstone ids not strictly increasing at %d", i)
+		}
+	}
+	if err := d.done("tomb"); err != nil {
+		return nil, Meta{}, err
+	}
+
+	shards := make([]shard.ShardSnapshot[P], nshards)
+	live := 0
+	var first *indexMeta
+	for j := range shards {
+		payload, err = readSection(r, "sids")
+		if err != nil {
+			return nil, Meta{}, err
+		}
+		d = &dec{b: payload}
+		nids := d.count(4, "shard id")
+		ids := make([]int32, nids)
+		for i := range ids {
+			ids[i] = d.i32()
+		}
+		if err := d.done("sids"); err != nil {
+			return nil, Meta{}, err
+		}
+		ix, m, err := readIndexBody(r, c)
+		if err != nil {
+			return nil, Meta{}, err
+		}
+		if first == nil {
+			first = m
+		} else if m.dim != first.dim || m.radius != first.radius {
+			return nil, Meta{}, corrupt("shard %d has dim %d r %v, shard 0 has dim %d r %v",
+				j, m.dim, m.radius, first.dim, first.radius)
+		}
+		shards[j] = shard.ShardSnapshot[P]{Index: ix, IDs: ids}
+		live += len(ids)
+	}
+	if _, err := readSection(r, "end!"); err != nil {
+		return nil, Meta{}, err
+	}
+	// Canonical invariant: every allocated id is either live in exactly
+	// one shard or tombstoned (shard.Restore rejects cross-shard
+	// duplicates and out-of-range ids; tombstoned live ids would break
+	// the count too).
+	if live+len(tombstones) != int(nextID) {
+		return nil, Meta{}, corrupt("%d live + %d tombstoned ids, want %d allocated", live, len(tombstones), nextID)
+	}
+	if len(tombstones) > 0 {
+		for _, sv := range shards {
+			for _, id := range sv.IDs {
+				if _, ok := slices.BinarySearch(tombstones, id); ok {
+					return nil, Meta{}, corrupt("id %d is both live and tombstoned", id)
+				}
+			}
+		}
+	}
+	sh, err := shard.Restore(shards, nextID, tombstones)
+	if err != nil {
+		return nil, Meta{}, corrupt("restoring shards: %v", err)
+	}
+	meta := publicMeta(first, nshards)
+	meta.N = live
+	return sh, meta, nil
+}

@@ -18,6 +18,7 @@ package shard
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +121,91 @@ func New[P any](points []P, s int, seed uint64, build Builder[P]) (*Sharded[P], 
 
 // Shards returns the number of partitions.
 func (s *Sharded[P]) Shards() int { return len(s.shards) }
+
+// ShardSnapshot is one shard's state as seen by Snapshot or supplied to
+// Restore: the core index and its local→global id map (IDs[local] is
+// the global id of the shard's local point).
+type ShardSnapshot[P any] struct {
+	Index *core.Index[P]
+	IDs   []int32
+}
+
+// Snapshot runs f over a consistent read view of the whole structure:
+// the per-shard core indexes and id maps, the high-water id mark (the
+// next global id an Append would assign — deleted ids are never
+// reused), and the tombstone set (sorted). Appends are blocked and all
+// shards are read-locked for the duration of f, so f must not call any
+// mutating method of s; queries keep flowing. The view's indexes and id
+// slices are live references — f must only read them, and must not
+// retain them past its return.
+func (s *Sharded[P]) Snapshot(f func(shards []ShardSnapshot[P], nextID int32, tombstones []int32) error) error {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+
+	view := make([]ShardSnapshot[P], len(s.shards))
+	for j, st := range s.shards {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		view[j] = ShardSnapshot[P]{Index: st.ix, IDs: st.ids}
+	}
+
+	s.tombMu.RLock()
+	tombs := make([]int32, 0, len(s.tombs))
+	for id := range s.tombs {
+		tombs = append(tombs, id)
+	}
+	s.tombMu.RUnlock()
+	slices.Sort(tombs)
+
+	return f(view, s.nextID.Load(), tombs)
+}
+
+// Restore reassembles a Sharded from decoded shard states (e.g. a
+// persisted snapshot) without rebuilding: each shard's core index is
+// used as-is. nextID is the saved high-water id mark; tombstones are the
+// saved deleted ids, which Restore keeps so that N() accounts for holes
+// in the id space even when the deleted points were compacted out of the
+// shards. Every shard id and tombstone must lie in [0, nextID), and ids
+// must be unique across shards.
+func Restore[P any](shards []ShardSnapshot[P], nextID int32, tombstones []int32) (*Sharded[P], error) {
+	if len(shards) < 1 {
+		return nil, fmt.Errorf("shard: Restore with no shards")
+	}
+	if nextID < 0 {
+		return nil, fmt.Errorf("shard: Restore with nextID = %d, want >= 0", nextID)
+	}
+	sh := &Sharded[P]{
+		shards: make([]*shardState[P], len(shards)),
+		tombs:  make(map[int32]struct{}, len(tombstones)),
+	}
+	for _, id := range tombstones {
+		if id < 0 || id >= nextID {
+			return nil, fmt.Errorf("shard: Restore tombstone id %d outside [0,%d)", id, nextID)
+		}
+		sh.tombs[id] = struct{}{}
+	}
+	seen := make(map[int32]struct{}, int(nextID))
+	for j, v := range shards {
+		if v.Index == nil {
+			return nil, fmt.Errorf("shard: Restore shard %d has no index", j)
+		}
+		if len(v.IDs) != v.Index.N() {
+			return nil, fmt.Errorf("shard: Restore shard %d has %d ids for %d points", j, len(v.IDs), v.Index.N())
+		}
+		for _, id := range v.IDs {
+			if id < 0 || id >= nextID {
+				return nil, fmt.Errorf("shard: Restore shard %d id %d outside [0,%d)", j, id, nextID)
+			}
+			if _, dup := seen[id]; dup {
+				return nil, fmt.Errorf("shard: Restore id %d appears in more than one shard", id)
+			}
+			seen[id] = struct{}{}
+		}
+		sh.shards[j] = &shardState[P]{ix: v.Index, ids: v.IDs}
+	}
+	sh.nextID.Store(nextID)
+	return sh, nil
+}
 
 // N returns the number of live (appended minus deleted) points.
 func (s *Sharded[P]) N() int {

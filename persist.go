@@ -1,0 +1,163 @@
+package hybridlsh
+
+import (
+	"io"
+
+	"repro/internal/persist"
+)
+
+// Index persistence. Every index type serializes to the versioned
+// hybridlsh-snap/v1 binary snapshot format (magic, format version,
+// CRC32-protected sections) via WriteTo, and reloads via the matching
+// Read function: points, configuration, every drawn hash function, all
+// bucket tables, the per-bucket HyperLogLog registers and the cost
+// model are preserved exactly, so a loaded plain index answers queries
+// id-for-id identically to the saved one — same hashes, same sketches,
+// same hybrid strategy decisions — without re-hashing a single point.
+//
+// Sharded snapshots additionally preserve each shard's independent hash
+// functions and the global id space: tombstoned points are compacted
+// out of the stored shards but their ids stay reserved, so deleted ids
+// remain deleted (and are never reused) after a reload, and Append
+// continues from the saved high-water mark. Compaction shrinks the
+// buckets the deleted points occupied, so a reloaded shard may decide a
+// borderline query with the other strategy than the live structure
+// (which filters tombstones at query time instead); reported sets then
+// agree up to the per-point δ guarantee. With no intervening deletes
+// the sharded round trip is exact as well.
+//
+// The decoder rejects corrupt, truncated or adversarial input with an
+// error (persist.ErrBadMagic / ErrVersion / ErrMetric / ErrCorrupt
+// equivalents) rather than panicking; see internal/persist for the
+// format layout and compatibility promise.
+
+// SnapshotFormat names the snapshot wire format the WriteTo methods
+// produce. Readers accept exactly this version; incompatible layout
+// changes bump it.
+const SnapshotFormat = persist.FormatName
+
+// WriteTo writes a snapshot of the index; it implements io.WriterTo.
+// The index must not be appended to concurrently.
+func (ix *L2Index) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteIndex(w, persist.MetricL2, ix.Index)
+}
+
+// ReadL2Index reloads an L2 index snapshot written by WriteTo.
+func ReadL2Index(r io.Reader) (*L2Index, error) {
+	ix, _, err := persist.ReadIndex[Dense](r, persist.MetricL2)
+	if err != nil {
+		return nil, err
+	}
+	return &L2Index{ix}, nil
+}
+
+// WriteTo writes a snapshot of the index; it implements io.WriterTo.
+// The index must not be appended to concurrently.
+func (ix *L1Index) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteIndex(w, persist.MetricL1, ix.Index)
+}
+
+// ReadL1Index reloads an L1 index snapshot written by WriteTo.
+func ReadL1Index(r io.Reader) (*L1Index, error) {
+	ix, _, err := persist.ReadIndex[Dense](r, persist.MetricL1)
+	if err != nil {
+		return nil, err
+	}
+	return &L1Index{ix}, nil
+}
+
+// WriteTo writes a snapshot of the index; it implements io.WriterTo.
+// The index must not be appended to concurrently.
+func (ix *HammingIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteIndex(w, persist.MetricHamming, ix.Index)
+}
+
+// ReadHammingIndex reloads a Hamming index snapshot written by WriteTo.
+func ReadHammingIndex(r io.Reader) (*HammingIndex, error) {
+	ix, _, err := persist.ReadIndex[Binary](r, persist.MetricHamming)
+	if err != nil {
+		return nil, err
+	}
+	return &HammingIndex{ix}, nil
+}
+
+// WriteTo writes a snapshot of the index; it implements io.WriterTo.
+// The index must not be appended to concurrently.
+func (ix *CosineIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteIndex(w, persist.MetricCosine, ix.Index)
+}
+
+// ReadCosineIndex reloads a cosine index snapshot written by WriteTo.
+func ReadCosineIndex(r io.Reader) (*CosineIndex, error) {
+	ix, _, err := persist.ReadIndex[Sparse](r, persist.MetricCosine)
+	if err != nil {
+		return nil, err
+	}
+	return &CosineIndex{ix}, nil
+}
+
+// WriteTo writes a snapshot of the index; it implements io.WriterTo.
+// The index must not be appended to concurrently.
+func (ix *JaccardIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteIndex(w, persist.MetricJaccard, ix.Index)
+}
+
+// ReadJaccardIndex reloads a Jaccard index snapshot written by WriteTo.
+func ReadJaccardIndex(r io.Reader) (*JaccardIndex, error) {
+	ix, _, err := persist.ReadIndex[Binary](r, persist.MetricJaccard)
+	if err != nil {
+		return nil, err
+	}
+	return &JaccardIndex{ix}, nil
+}
+
+// WriteTo writes a snapshot of the index, including the family's
+// Monte-Carlo-calibrated collision-probability curve; it implements
+// io.WriterTo. The index must not be appended to concurrently.
+func (ix *AngularIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteIndex(w, persist.MetricAngular, ix.Index)
+}
+
+// ReadAngularIndex reloads an angular (cross-polytope) index snapshot
+// written by WriteTo; the calibrated curve is restored rather than
+// re-measured.
+func ReadAngularIndex(r io.Reader) (*AngularIndex, error) {
+	ix, _, err := persist.ReadIndex[Dense](r, persist.MetricAngular)
+	if err != nil {
+		return nil, err
+	}
+	return &AngularIndex{ix}, nil
+}
+
+// WriteTo writes a snapshot of the sharded index; it implements
+// io.WriterTo. It takes a consistent view (appends block for the
+// duration, queries keep flowing) and compacts tombstoned points out of
+// the snapshot while keeping their ids reserved.
+func (s *ShardedL2Index) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteSharded(w, persist.MetricL2, s.Sharded)
+}
+
+// ReadShardedL2Index reloads a sharded L2 snapshot written by WriteTo.
+func ReadShardedL2Index(r io.Reader) (*ShardedL2Index, error) {
+	sh, _, err := persist.ReadSharded[Dense](r, persist.MetricL2)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedL2Index{sh}, nil
+}
+
+// WriteTo writes a snapshot of the sharded index; see
+// (*ShardedL2Index).WriteTo.
+func (s *ShardedHammingIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteSharded(w, persist.MetricHamming, s.Sharded)
+}
+
+// ReadShardedHammingIndex reloads a sharded Hamming snapshot written by
+// WriteTo.
+func ReadShardedHammingIndex(r io.Reader) (*ShardedHammingIndex, error) {
+	sh, _, err := persist.ReadSharded[Binary](r, persist.MetricHamming)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedHammingIndex{sh}, nil
+}
