@@ -8,6 +8,7 @@
 //	hybridbench -exp fig2d             # Figure 2d: Corel, L2
 //	hybridbench -exp fig3              # Figure 3: Webspam output sizes & LS%
 //	hybridbench -exp persist           # build-once-load-many: snapshot load vs rebuild
+//	hybridbench -exp delete            # tombstone skew vs online compaction
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, all")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
 		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
@@ -96,6 +97,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return fig3(cfg, csvDir, rep)
 	case "persist":
 		return persistExp(cfg, rep)
+	case "delete":
+		return deleteExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -117,10 +120,30 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		if err := fig3(cfg, csvDir, rep); err != nil {
 			return err
 		}
-		return persistExp(cfg, rep)
+		if err := persistExp(cfg, rep); err != nil {
+			return err
+		}
+		return deleteExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// deleteExp runs the tombstone-skew experiment: how delete-heavy traffic
+// degrades query cost and strategy decisions, and what online shard
+// compaction restores.
+func deleteExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.DeleteExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Deletes — tombstone-skewed cost model vs online shard compaction")
+	bench.PrintDelete(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddDelete(res)
+	}
+	return nil
 }
 
 // persistExp runs the build-once-load-many experiment: how much faster

@@ -14,8 +14,22 @@
 //	POST /batch    {"points": [[...], ...]}    -> one result per query
 //	POST /append   {"points": [[...], ...]}    -> assigned ids
 //	POST /delete   {"ids": [...]}              -> tombstone count
+//	POST /compact  {"shard": j} or empty body  -> drop tombstoned points from buckets
 //	POST /snapshot                             -> persist to the -snapshot path
-//	GET  /stats    topology, strategy mix, p50/p95/p99 latency
+//	GET  /stats    topology, strategy mix, compactions, p50/p95/p99 latency
+//
+// Every request body is capped at -maxbody bytes (default 8 MiB);
+// oversized bodies get a 413 JSON error. Deletes are tombstones that
+// compaction makes real: once a shard's tombstone ratio exceeds
+// -compactthreshold (default 0.2) the shard is compacted automatically —
+// dead points leave the buckets, the per-bucket sketches are rebuilt
+// from live ids, the hash functions are kept — so the hybrid cost model
+// keeps choosing strategies from live counts under delete-heavy traffic.
+// POST /compact forces the same rewrite on demand (one shard, or all
+// when the body is empty). Queries on the other shards never block on a
+// compaction; queries on the shard being compacted keep flowing too,
+// unless an append routed to that same shard arrives mid-rewrite (the
+// waiting writer then parks later readers until the rewrite finishes).
 //
 // For -metric l2 a point is a dim-length array of numbers; for -metric
 // hamming it is a dim-length array of 0/1 bits.
@@ -82,6 +96,10 @@ func main() {
 	flag.IntVar(&cfg.window, "latwindow", cfg.window, "latency-percentile window (observations)")
 	flag.StringVar(&cfg.snapshot, "snapshot", cfg.snapshot,
 		"snapshot file: loaded at boot when it exists (dim/r/shards then come from the snapshot), written by POST /snapshot")
+	flag.Int64Var(&cfg.maxBody, "maxbody", cfg.maxBody,
+		"maximum request body size in bytes; larger bodies get a 413 JSON error")
+	flag.Float64Var(&cfg.compactThresh, "compactthreshold", cfg.compactThresh,
+		"auto-compact a shard once its tombstone ratio exceeds this; >= 1 disables auto-compaction")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -122,27 +140,31 @@ func serve(addr string, h http.Handler) error {
 }
 
 type config struct {
-	addr     string
-	metric   string
-	dim      int
-	n        int
-	shards   int
-	radius   float64
-	seed     uint64
-	window   int
-	snapshot string
+	addr          string
+	metric        string
+	dim           int
+	n             int
+	shards        int
+	radius        float64
+	seed          uint64
+	window        int
+	snapshot      string
+	maxBody       int64
+	compactThresh float64
 }
 
 func defaultConfig() config {
 	return config{
-		addr:   ":8080",
-		metric: "l2",
-		dim:    16,
-		n:      20000,
-		shards: 8,
-		radius: 0.4,
-		seed:   1,
-		window: 4096,
+		addr:          ":8080",
+		metric:        "l2",
+		dim:           16,
+		n:             20000,
+		shards:        8,
+		radius:        0.4,
+		seed:          1,
+		window:        4096,
+		maxBody:       8 << 20,
+		compactThresh: shard.DefaultCompactionThreshold,
 	}
 }
 
@@ -153,6 +175,8 @@ type backend interface {
 	batch(raw []json.RawMessage, workers int) ([]*queryResult, error)
 	appendPoints(raw []json.RawMessage) ([]int32, error)
 	remove(ids []int32) int
+	compact(shardIdx int) (int, error) // shardIdx < 0 compacts every shard
+	autoCompact(threshold float64)
 	snapshot(path string) (int64, error)
 	topo() shard.Stats
 	maxWorkers() int
@@ -183,6 +207,12 @@ func newServer(cfg config) (*server, error) {
 	if cfg.window < 1 {
 		return nil, fmt.Errorf("latwindow = %d, want >= 1", cfg.window)
 	}
+	if cfg.maxBody < 1 {
+		return nil, fmt.Errorf("maxbody = %d, want >= 1", cfg.maxBody)
+	}
+	if cfg.compactThresh <= 0 {
+		return nil, fmt.Errorf("compactthreshold = %v, want > 0 (>= 1 disables)", cfg.compactThresh)
+	}
 	loadedFrom := ""
 	be, err := loadBackend(&cfg)
 	if err != nil {
@@ -210,6 +240,7 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
 		}
 	}
+	be.autoCompact(cfg.compactThresh)
 	return &server{cfg: cfg, be: be, loadedFrom: loadedFrom, lat: stats.NewRecorder(cfg.window), start: time.Now()}, nil
 }
 
@@ -432,6 +463,17 @@ func (e *engine[P]) appendPoints(raw []json.RawMessage) ([]int32, error) {
 
 func (e *engine[P]) remove(ids []int32) int { return e.sh.Delete(ids) }
 
+// compact drops tombstoned points from one shard's buckets (every
+// shard's for shardIdx < 0); queries keep flowing during the rewrite.
+func (e *engine[P]) compact(shardIdx int) (int, error) {
+	if shardIdx < 0 {
+		return e.sh.CompactAll()
+	}
+	return e.sh.Compact(shardIdx)
+}
+
+func (e *engine[P]) autoCompact(threshold float64) { e.sh.SetAutoCompact(threshold) }
+
 // snapshot persists the index to path atomically (temp file + rename).
 // Appends are blocked while the consistent view is serialized; queries
 // keep flowing.
@@ -465,9 +507,13 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return http.MaxBytesHandler(mux, 32<<20)
+	// MaxBytesHandler wraps every request body in http.MaxBytesReader, so
+	// a client cannot stream an unbounded body into the JSON decoders;
+	// decode errors from the cap surface as 413 via statusFor.
+	return http.MaxBytesHandler(mux, s.cfg.maxBody)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -491,6 +537,16 @@ func decode(r *http.Request, v any) error {
 	return nil
 }
 
+// statusFor maps a decode error to its HTTP status: 413 when the -maxbody
+// cap cut the body off, 400 for everything else.
+func statusFor(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
@@ -503,7 +559,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Point json.RawMessage `json:"point"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	if len(req.Point) == 0 {
@@ -525,7 +581,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Workers int               `json:"workers"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	if len(req.Points) == 0 {
@@ -557,7 +613,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Points []json.RawMessage `json:"points"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	if len(req.Points) == 0 {
@@ -577,11 +633,48 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		IDs []int32 `json:"ids"`
 	}
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	deleted := s.be.remove(req.IDs)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted, "n": s.be.topo().Live})
+}
+
+// handleCompact drops tombstoned points out of the index buckets:
+// {"shard": j} compacts one shard, an empty body compacts all of them.
+// Queries keep flowing while the rewrite runs; only appends routed to
+// the shard being compacted wait.
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard *int `json:"shard"`
+	}
+	if err := decode(r, &req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	shardIdx := -1
+	if req.Shard != nil {
+		if *req.Shard < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("shard = %d, want >= 0 (omit the field to compact all shards)", *req.Shard))
+			return
+		}
+		shardIdx = *req.Shard
+	}
+	t0 := time.Now()
+	removed, err := s.be.compact(shardIdx)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	topo := s.be.topo()
+	log.Printf("hybridserve: compacted %d points in %v", removed, time.Since(t0).Round(time.Millisecond))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"removed":           removed,
+		"live":              topo.Live,
+		"dead_in_buckets":   topo.DeadTotal,
+		"compactions_total": topo.CompactionsTotal,
+		"compact_ms":        float64(time.Since(t0).Microseconds()) / 1000,
+	})
 }
 
 // handleSnapshot persists the index to the operator-configured
@@ -624,6 +717,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"live":        topo.Live,
 		"tombstones":  topo.Tombstones,
 		"queries":     s.queries.Load(),
+		"compaction": map[string]any{
+			"threshold":       s.cfg.compactThresh,
+			"per_shard":       topo.Compactions,
+			"total":           topo.CompactionsTotal,
+			"dead_in_buckets": topo.DeadInBuckets,
+			"dead_total":      topo.DeadTotal,
+		},
 		"strategy": map[string]int64{
 			"lsh_shard_answers":    s.lshAns.Load(),
 			"linear_shard_answers": s.linAns.Load(),

@@ -443,3 +443,164 @@ func TestSnapshotHammingRestart(t *testing.T) {
 		t.Fatalf("hamming restart: ids %v != %v", after.IDs, before.IDs)
 	}
 }
+
+// TestCompactEndpoint tombstones enough points to skew the index, then
+// compacts over HTTP: answers must be unchanged, the stats counters
+// must report the compaction, and the dead points must leave the
+// buckets (visible as shrunk shard sizes).
+func TestCompactEndpoint(t *testing.T) {
+	cfg := testConfig()
+	cfg.compactThresh = 1 // drive compaction via the endpoint, not the trigger
+	ts := startServer(t, cfg)
+
+	q := map[string]any{"point": toFloats(seedDense(1, cfg.dim, cfg.seed)[0])}
+	var pre queryResult
+	post(t, ts.URL+"/query", q, http.StatusOK, &pre)
+
+	ids := make([]int32, 0, cfg.n/4)
+	for id := int32(0); int(id) < cfg.n; id += 4 {
+		ids = append(ids, id)
+	}
+	var delResp struct {
+		Deleted int `json:"deleted"`
+	}
+	post(t, ts.URL+"/delete", map[string]any{"ids": ids}, http.StatusOK, &delResp)
+	if delResp.Deleted != len(ids) {
+		t.Fatalf("deleted %d, want %d", delResp.Deleted, len(ids))
+	}
+	var tombstoned queryResult
+	post(t, ts.URL+"/query", q, http.StatusOK, &tombstoned)
+
+	var compacted struct {
+		Removed          int     `json:"removed"`
+		Live             int     `json:"live"`
+		DeadInBuckets    int     `json:"dead_in_buckets"`
+		CompactionsTotal int64   `json:"compactions_total"`
+		CompactMS        float64 `json:"compact_ms"`
+	}
+	post(t, ts.URL+"/compact", map[string]any{}, http.StatusOK, &compacted)
+	if compacted.Removed != len(ids) {
+		t.Fatalf("compact removed %d, want %d", compacted.Removed, len(ids))
+	}
+	if compacted.DeadInBuckets != 0 {
+		t.Fatalf("dead_in_buckets = %d after compaction", compacted.DeadInBuckets)
+	}
+	// Only shard 0 held dead points (build ids land round-robin, and we
+	// deleted ids ≡ 0 mod shards); no-op compactions of clean shards
+	// don't count.
+	if compacted.CompactionsTotal != 1 {
+		t.Fatalf("compactions_total = %d, want 1", compacted.CompactionsTotal)
+	}
+	if want := cfg.n - len(ids); compacted.Live != want {
+		t.Fatalf("live = %d, want %d", compacted.Live, want)
+	}
+
+	var post1 queryResult
+	post(t, ts.URL+"/query", q, http.StatusOK, &post1)
+	if !slices.Equal(sortedIDs(post1.IDs), sortedIDs(tombstoned.IDs)) {
+		t.Fatalf("answers changed across compaction: %v != %v", sortedIDs(post1.IDs), sortedIDs(tombstoned.IDs))
+	}
+
+	var st struct {
+		ShardSizes []int `json:"shard_sizes"`
+		Tombstones int   `json:"tombstones"`
+		Compaction struct {
+			Total     int64   `json:"total"`
+			PerShard  []int64 `json:"per_shard"`
+			DeadTotal int     `json:"dead_total"`
+			Threshold float64 `json:"threshold"`
+		} `json:"compaction"`
+	}
+	get(t, ts.URL+"/stats", &st)
+	if st.Compaction.Total != 1 || st.Compaction.DeadTotal != 0 {
+		t.Fatalf("stats compaction = %+v, want total 1, dead 0", st.Compaction)
+	}
+	if st.Tombstones != len(ids) {
+		t.Fatalf("tombstones = %d, want %d (ids stay reserved)", st.Tombstones, len(ids))
+	}
+	total := 0
+	for _, s := range st.ShardSizes {
+		total += s
+	}
+	if want := cfg.n - len(ids); total != want {
+		t.Fatalf("shard sizes sum to %d after compaction, want %d", total, want)
+	}
+
+	// Single-shard form plus validation.
+	var one struct {
+		Removed int `json:"removed"`
+	}
+	post(t, ts.URL+"/compact", map[string]any{"shard": 0}, http.StatusOK, &one)
+	if one.Removed != 0 {
+		t.Fatalf("re-compacting shard 0 removed %d, want 0", one.Removed)
+	}
+	post(t, ts.URL+"/compact", map[string]any{"shard": cfg.shards}, http.StatusBadRequest, nil)
+	post(t, ts.URL+"/compact", map[string]any{"shard": -2}, http.StatusBadRequest, nil)
+	post(t, ts.URL+"/compact", map[string]any{"bogus": 1}, http.StatusBadRequest, nil)
+}
+
+// TestAutoCompactOverHTTP deletes past the configured threshold and
+// expects the server to compact on its own.
+func TestAutoCompactOverHTTP(t *testing.T) {
+	cfg := testConfig()
+	cfg.compactThresh = 0.2
+	ts := startServer(t, cfg)
+
+	// Build points land round-robin, so every 4th id is one shard.
+	ids := make([]int32, 0, cfg.n/4)
+	for id := int32(0); int(id) < cfg.n; id += 4 {
+		ids = append(ids, id) // 100% of shard 0: far past 20%
+	}
+	post(t, ts.URL+"/delete", map[string]any{"ids": ids}, http.StatusOK, nil)
+
+	var st struct {
+		Compaction struct {
+			Total     int64 `json:"total"`
+			DeadTotal int   `json:"dead_total"`
+		} `json:"compaction"`
+	}
+	get(t, ts.URL+"/stats", &st)
+	if st.Compaction.Total == 0 {
+		t.Fatal("delete past the threshold did not auto-compact")
+	}
+	if st.Compaction.DeadTotal != 0 {
+		t.Fatalf("dead_total = %d after auto-compaction", st.Compaction.DeadTotal)
+	}
+}
+
+// TestMaxBodyCap asserts the -maxbody satellite: every endpoint rejects
+// an oversized body with 413 and a JSON error payload.
+func TestMaxBodyCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.maxBody = 512
+	ts := startServer(t, cfg)
+
+	huge := make([]float64, 4096) // ~9 KiB of JSON, far past 512 bytes
+	for _, path := range []string{"/query", "/batch", "/append", "/delete", "/compact"} {
+		b, err := json.Marshal(map[string]any{"point": huge, "points": [][]float64{huge}, "ids": []int32{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build per-path bodies that are oversized but would otherwise
+		// decode; the cap must fire first.
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s oversized: status %d, want 413", path, resp.StatusCode)
+		}
+		if err != nil || out.Error == "" {
+			t.Fatalf("POST %s oversized: want a JSON error body, got decode err %v", path, err)
+		}
+	}
+
+	// A small request must still work under the cap.
+	q := map[string]any{"point": toFloats(seedDense(1, cfg.dim, cfg.seed)[0])}
+	post(t, ts.URL+"/query", q, http.StatusOK, nil)
+}

@@ -31,6 +31,7 @@ type JSONReport struct {
 	Table1  []Table1Row    `json:"table1,omitempty"`
 	Figures []JSONFigure   `json:"figures,omitempty"`
 	Persist *PersistResult `json:"persist,omitempty"`
+	Delete  *DeleteResult  `json:"delete,omitempty"`
 }
 
 // NewJSONReport starts an empty report for the given configuration.
@@ -49,6 +50,9 @@ func (r *JSONReport) AddFigure(id string, calibrated bool, res *Fig2Result) {
 
 // AddPersist records the build-once-load-many experiment of the run.
 func (r *JSONReport) AddPersist(res *PersistResult) { r.Persist = res }
+
+// AddDelete records the delete/compaction experiment of the run.
+func (r *JSONReport) AddDelete(res *DeleteResult) { r.Delete = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

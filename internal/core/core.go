@@ -122,12 +122,14 @@ type Index[P any] struct {
 }
 
 // queryState is the per-query scratch: the generation-stamped visited
-// array used for duplicate removal (the paper's step S2) and the HLL merge
-// target. Pooling it keeps Query allocation-free in steady state.
+// array used for duplicate removal (the paper's step S2), the HLL merge
+// target, and the bucket-lookup slice. Pooling it keeps Query
+// allocation-free in steady state.
 type queryState struct {
 	visited []uint32
 	gen     uint32
 	sketch  *hll.Sketch
+	buckets []*lsh.Bucket
 }
 
 // NewIndex builds the hybrid index: L hash tables with per-bucket HLLs
@@ -340,6 +342,65 @@ func (ix *Index[P]) Append(points []P) error {
 	return nil
 }
 
+// Compact returns a new index without the points marked dead
+// (len(dead) must equal N). The drawn hash functions are kept — no
+// surviving point is re-hashed — while every bucket drops its dead ids,
+// survivors are renumbered by their rank among survivors (point i's new
+// id is the number of live points before i, so relative order is
+// preserved), and the per-bucket HLL sketches are rebuilt from the live
+// ids. The result's strategy decision therefore counts zero dead points
+// in all three cost-model inputs: LinearCost uses the live n, #collisions
+// sums buckets holding only live ids, and candSize estimates over
+// live-only sketches. Answers are id-for-id the receiver's answers minus
+// the dead points (modulo the renumbering).
+//
+// The receiver is read, not modified, and stays fully usable — callers
+// such as shard.Sharded build the compacted index while the old one keeps
+// serving reads, then swap. Compact may run concurrently with queries on
+// the receiver but not with Append (the usual single-writer contract).
+// If no point is marked dead the receiver itself is returned.
+func (ix *Index[P]) Compact(dead []bool) (*Index[P], error) {
+	if len(dead) != len(ix.points) {
+		return nil, fmt.Errorf("core: Compact with %d dead flags for %d points", len(dead), len(ix.points))
+	}
+	remap := make([]int32, len(dead))
+	live := 0
+	for i, d := range dead {
+		if d {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(live)
+		live++
+	}
+	if live == len(ix.points) {
+		return ix, nil
+	}
+	points := make([]P, 0, live)
+	for i := range ix.points {
+		if !dead[i] {
+			points = append(points, ix.points[i])
+		}
+	}
+	tables, err := ix.tables.Compact(remap, live)
+	if err != nil {
+		return nil, err
+	}
+	nix := &Index[P]{
+		points: points,
+		dist:   ix.dist,
+		family: ix.family,
+		radius: ix.radius,
+		delta:  ix.delta,
+		k:      ix.k,
+		p1:     ix.p1,
+		cost:   ix.cost,
+		tables: tables,
+	}
+	nix.initStatePool()
+	return nix, nil
+}
+
 // QueryStats reports what one query did; every experiment in the paper is
 // an aggregation of these.
 type QueryStats struct {
@@ -427,14 +488,14 @@ func (ix *Index[P]) Query(q P) ([]int32, QueryStats) {
 
 	var stats QueryStats
 	t0 := time.Now()
-	buckets := ix.tables.Lookup(q)
-	stats.Strategy = ix.decide(buckets, st, &stats)
+	st.buckets = ix.tables.LookupInto(q, st.buckets)
+	stats.Strategy = ix.decide(st.buckets, st, &stats)
 	stats.EstimateTime = time.Since(t0)
 
 	t1 := time.Now()
 	var out []int32
 	if stats.Strategy == StrategyLSH {
-		out = ix.searchBuckets(q, buckets, st, &stats)
+		out = ix.searchBuckets(q, st.buckets, st, &stats)
 	} else {
 		out = ix.searchLinear(q, &stats)
 	}
@@ -449,14 +510,18 @@ func (ix *Index[P]) EstimateCandSize(q P) (collisions int, est float64, elapsed 
 	st := ix.getState()
 	defer ix.states.Put(st)
 	t0 := time.Now()
-	buckets := ix.tables.Lookup(q)
-	collisions = lsh.Collisions(buckets)
-	est = ix.tables.EstimateCandidates(buckets, st.sketch)
+	st.buckets = ix.tables.LookupInto(q, st.buckets)
+	collisions = lsh.Collisions(st.buckets)
+	est = ix.tables.EstimateCandidates(st.buckets, st.sketch)
 	return collisions, est, time.Since(t0)
 }
 
 // QueryLSH forces the classic LSH-based search (no estimation, no
-// fallback). It is the "LSH" baseline of Figure 2.
+// fallback). It is the "LSH" baseline of Figure 2. Timing uses the same
+// decomposition as Query: EstimateTime covers the bucket lookup and
+// collision counting (steps 1 of Algorithm 2, the pre-search work),
+// SearchTime covers only the S2 dedup + S3 distance computations — so the
+// Figure-2 baselines and the hybrid path report comparable splits.
 func (ix *Index[P]) QueryLSH(q P) ([]int32, QueryStats) {
 	st := ix.getState()
 	defer ix.states.Put(st)
@@ -464,15 +529,19 @@ func (ix *Index[P]) QueryLSH(q P) ([]int32, QueryStats) {
 	var stats QueryStats
 	stats.Strategy = StrategyLSH
 	t0 := time.Now()
-	buckets := ix.tables.Lookup(q)
-	stats.Collisions = lsh.Collisions(buckets)
-	out := ix.searchBuckets(q, buckets, st, &stats)
-	stats.SearchTime = time.Since(t0)
+	st.buckets = ix.tables.LookupInto(q, st.buckets)
+	stats.Collisions = lsh.Collisions(st.buckets)
+	stats.EstimateTime = time.Since(t0)
+	t1 := time.Now()
+	out := ix.searchBuckets(q, st.buckets, st, &stats)
+	stats.SearchTime = time.Since(t1)
 	return out, stats
 }
 
 // QueryLinear forces the exact linear scan. It is the "Linear" baseline of
-// Figure 2.
+// Figure 2. The decomposition matches Query's: a forced scan does no
+// bucket lookup and no estimation, so EstimateTime is genuinely zero and
+// SearchTime is the whole scan.
 func (ix *Index[P]) QueryLinear(q P) ([]int32, QueryStats) {
 	var stats QueryStats
 	stats.Strategy = StrategyLinear
@@ -491,8 +560,8 @@ func (ix *Index[P]) DecideStrategy(q P) (Strategy, QueryStats) {
 
 	var stats QueryStats
 	t0 := time.Now()
-	buckets := ix.tables.Lookup(q)
-	stats.Strategy = ix.decide(buckets, st, &stats)
+	st.buckets = ix.tables.LookupInto(q, st.buckets)
+	stats.Strategy = ix.decide(st.buckets, st, &stats)
 	stats.EstimateTime = time.Since(t0)
 	return stats.Strategy, stats
 }

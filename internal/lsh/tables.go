@@ -219,6 +219,105 @@ func (t *Tables[P]) Append(points []P) error {
 	return nil
 }
 
+// Compact rewrites the tables without the dropped points: remap[old] is
+// the new id of surviving point old, or -1 for a dropped point, and live
+// is the survivor count (the number of non-negative remap entries, which
+// must form exactly 0..live-1). It returns a new Tables sharing the drawn
+// hash functions — survivors land in the same buckets under the same
+// keys, so answers over the compacted tables are the original answers
+// minus the dropped points, with no re-hashing of surviving points.
+// Bucket id lists are rewritten, empty buckets are removed, and
+// per-bucket sketches are rebuilt from the surviving ids under the usual
+// size threshold (HLLs cannot un-absorb a deletion, so rebuilding is the
+// only sound way to forget). The receiver is not modified and remains
+// valid; callers swap the result in under their own synchronization.
+//
+// persist uses the same rewrite when it compacts tombstoned points out of
+// a snapshot, so online compaction and snapshot compaction produce
+// identical bucket and sketch state for the same survivor set.
+func (t *Tables[P]) Compact(remap []int32, live int) (*Tables[P], error) {
+	if len(remap) != t.n {
+		return nil, fmt.Errorf("lsh: Compact with %d remap entries for %d points", len(remap), t.n)
+	}
+	if live < 0 || live > t.n {
+		return nil, fmt.Errorf("lsh: Compact with live = %d, want in [0, %d]", live, t.n)
+	}
+	survivors := 0
+	last := int32(-1)
+	for old, nid := range remap {
+		if nid < -1 || int(nid) >= live {
+			return nil, fmt.Errorf("lsh: Compact remap[%d] = %d outside [-1, %d)", old, nid, live)
+		}
+		if nid >= 0 {
+			// Rank renumbering means the non-negative entries are exactly
+			// 0..live-1 in order; anything else (duplicates, gaps,
+			// reordering) would silently corrupt the rewritten buckets.
+			if nid <= last {
+				return nil, fmt.Errorf("lsh: Compact remap[%d] = %d is not rank renumbering (previous survivor id %d)", old, nid, last)
+			}
+			last = nid
+			survivors++
+		}
+	}
+	if survivors != live {
+		return nil, fmt.Errorf("lsh: Compact remap has %d survivors, live = %d", survivors, live)
+	}
+
+	nt := &Tables[P]{params: t.params, tables: make([]Table[P], len(t.tables)), n: live}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(t.tables) {
+		workers = len(t.tables)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				nt.tables[j] = Table[P]{
+					Hasher:  t.tables[j].Hasher,
+					Buckets: compactBuckets(t.tables[j].Buckets, remap, t.params),
+				}
+			}
+		}()
+	}
+	for j := range t.tables {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	return nt, nil
+}
+
+// compactBuckets rewrites one table's bucket map through remap: surviving
+// ids are renumbered, emptied buckets vanish, and sketches are rebuilt
+// over the survivors when the bucket still meets the threshold.
+func compactBuckets(src map[uint64]*Bucket, remap []int32, p Params) map[uint64]*Bucket {
+	dst := make(map[uint64]*Bucket, len(src))
+	for key, b := range src {
+		kept := make([]int32, 0, len(b.IDs))
+		for _, id := range b.IDs {
+			if nid := remap[id]; nid >= 0 {
+				kept = append(kept, nid)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		nb := &Bucket{IDs: kept}
+		if len(kept) >= p.HLLThreshold {
+			s := hll.New(p.HLLRegisters)
+			for _, id := range kept {
+				s.AddID(uint64(id))
+			}
+			nb.Sketch = s
+		}
+		dst[key] = nb
+	}
+	return dst
+}
+
 // N returns the number of indexed points.
 func (t *Tables[P]) N() int { return t.n }
 
@@ -234,7 +333,18 @@ func (t *Tables[P]) Table(j int) *Table[P] { return &t.tables[j] }
 // Lookup returns the buckets of q in all L tables; tables where q's bucket
 // is empty contribute nothing, so the result may be shorter than L.
 func (t *Tables[P]) Lookup(q P) []*Bucket {
-	bs := make([]*Bucket, 0, len(t.tables))
+	return t.LookupInto(q, nil)
+}
+
+// LookupInto is Lookup reusing buf's backing array (buf may be nil). It
+// exists so query loops can thread a pooled scratch slice through and stay
+// allocation-free in steady state; the result aliases buf and must not be
+// retained once buf is recycled.
+func (t *Tables[P]) LookupInto(q P, buf []*Bucket) []*Bucket {
+	bs := buf[:0]
+	if cap(bs) == 0 {
+		bs = make([]*Bucket, 0, len(t.tables))
+	}
 	for i := range t.tables {
 		if b := t.tables[i].Buckets[t.tables[i].Hasher.Key(q)]; b != nil {
 			bs = append(bs, b)

@@ -2,6 +2,7 @@ package lsh
 
 import (
 	"math"
+	"slices"
 	"sync"
 	"testing"
 
@@ -266,5 +267,124 @@ func TestNAndParams(t *testing.T) {
 	}
 	if got := tb.Params().HLLThreshold; got != 32 {
 		t.Fatalf("default threshold = %d, want m", got)
+	}
+}
+
+func TestCompactRewritesBuckets(t *testing.T) {
+	pts := randomBinaries(300, 64, 9)
+	p := Params{K: 4, L: 8, HLLRegisters: 32, HLLThreshold: 4, Seed: 9}
+	tb := mustBuild(t, pts, p)
+
+	// Drop every third point; survivors renumber by rank.
+	remap := make([]int32, len(pts))
+	live := 0
+	for i := range remap {
+		if i%3 == 0 {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(live)
+		live++
+	}
+	ct, err := tb.Compact(remap, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.N() != live {
+		t.Fatalf("compacted N = %d, want %d", ct.N(), live)
+	}
+	if tb.N() != len(pts) {
+		t.Fatalf("source tables mutated: N = %d", tb.N())
+	}
+
+	// Survivors must sit in the same buckets under the same keys with
+	// rewritten ids; the per-table id multisets must be exactly the
+	// remapped survivors, and sketches must be rebuilt per threshold.
+	for j := 0; j < tb.L(); j++ {
+		src, dst := tb.Table(j), ct.Table(j)
+		if src.Hasher != dst.Hasher {
+			t.Fatalf("table %d: hasher was not kept", j)
+		}
+		total := 0
+		for key, b := range src.Buckets {
+			var want []int32
+			for _, id := range b.IDs {
+				if nid := remap[id]; nid >= 0 {
+					want = append(want, nid)
+				}
+			}
+			nb := dst.Buckets[key]
+			if len(want) == 0 {
+				if nb != nil {
+					t.Fatalf("table %d bucket %x should have been dropped", j, key)
+				}
+				continue
+			}
+			if nb == nil {
+				t.Fatalf("table %d bucket %x vanished", j, key)
+			}
+			if !slices.Equal(nb.IDs, want) {
+				t.Fatalf("table %d bucket %x ids = %v, want %v", j, key, nb.IDs, want)
+			}
+			total += len(nb.IDs)
+			if len(want) >= p.HLLThreshold {
+				if nb.Sketch == nil {
+					t.Fatalf("table %d bucket %x missing rebuilt sketch", j, key)
+				}
+				fresh := hll.New(p.HLLRegisters)
+				for _, id := range want {
+					fresh.AddID(uint64(id))
+				}
+				if !slices.Equal(nb.Sketch.Registers(), fresh.Registers()) {
+					t.Fatalf("table %d bucket %x sketch not rebuilt from live ids", j, key)
+				}
+			} else if nb.Sketch != nil {
+				t.Fatalf("table %d bucket %x kept a sketch below threshold", j, key)
+			}
+		}
+		if total != live {
+			t.Fatalf("table %d holds %d ids after compaction, want %d", j, total, live)
+		}
+	}
+}
+
+func TestCompactValidation(t *testing.T) {
+	pts := randomBinaries(20, 64, 10)
+	tb := mustBuild(t, pts, Params{K: 3, L: 2, HLLRegisters: 32, Seed: 10})
+	if _, err := tb.Compact(make([]int32, 5), 5); err == nil {
+		t.Fatal("Compact accepted a short remap")
+	}
+	bad := make([]int32, 20)
+	bad[0] = 25 // out of live range
+	if _, err := tb.Compact(bad, 20); err == nil {
+		t.Fatal("Compact accepted an out-of-range remap entry")
+	}
+	skewed := make([]int32, 20) // 20 zero entries: survivor count != live
+	if _, err := tb.Compact(skewed, 5); err == nil {
+		t.Fatal("Compact accepted a remap whose survivor count disagrees with live")
+	}
+	dup := make([]int32, 20) // two survivors sharing new id 0
+	for i := range dup {
+		dup[i] = -1
+	}
+	dup[3], dup[7] = 0, 0
+	if _, err := tb.Compact(dup, 2); err == nil {
+		t.Fatal("Compact accepted a remap with duplicate new ids")
+	}
+}
+
+func TestLookupIntoReusesScratch(t *testing.T) {
+	pts := randomBinaries(200, 64, 11)
+	tb := mustBuild(t, pts, Params{K: 3, L: 10, HLLRegisters: 32, Seed: 11})
+	buf := tb.LookupInto(pts[0], nil)
+	if got, want := len(buf), len(tb.Lookup(pts[0])); got != want {
+		t.Fatalf("LookupInto found %d buckets, Lookup %d", got, want)
+	}
+	buf2 := tb.LookupInto(pts[1], buf)
+	if cap(buf) > 0 && len(buf2) > 0 && &buf2[0] != &buf[:1][0] {
+		t.Fatal("LookupInto did not reuse the scratch backing array")
+	}
+	if got, want := len(buf2), len(tb.Lookup(pts[1])); got != want {
+		t.Fatalf("reused LookupInto found %d buckets, want %d", got, want)
 	}
 }

@@ -1,0 +1,152 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOnlineCompactionAgreesWithSnapshotCompaction is the interop
+// invariant: snapshotting a tombstoned index (which compacts during the
+// write) and snapshotting the same index after online CompactAll must
+// produce byte-identical snapshots — same surviving points, same bucket
+// contents under the same keys, same rebuilt sketches, same reserved
+// tombstones.
+func TestOnlineCompactionAgreesWithSnapshotCompaction(t *testing.T) {
+	pts := denseData(tn, tdim, 61)
+	var doomed []int32
+	for id := int32(0); id < tn; id += 3 {
+		doomed = append(doomed, id)
+	}
+
+	tombstoned := newShardedL2(t, pts, 4, 62)
+	tombstoned.SetAutoCompact(1)
+	tombstoned.Delete(doomed)
+
+	compacted := newShardedL2(t, pts, 4, 62)
+	compacted.SetAutoCompact(1)
+	compacted.Delete(doomed)
+	if _, err := compacted.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var bufT, bufC bytes.Buffer
+	if _, err := WriteSharded(&bufT, MetricL2, tombstoned); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSharded(&bufC, MetricL2, compacted); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufT.Bytes(), bufC.Bytes()) {
+		t.Fatalf("snapshot of tombstoned index (%d bytes) differs from snapshot of online-compacted index (%d bytes)",
+			bufT.Len(), bufC.Len())
+	}
+}
+
+// TestDeleteCompactSnapshotRestore is the reserved-id round trip:
+// delete → online compact → snapshot → restore must preserve the id
+// space's holes — restored appends continue above the old high-water
+// mark, the deleted ids stay deleted, and answers survive id-for-id.
+func TestDeleteCompactSnapshotRestore(t *testing.T) {
+	pts := denseData(tn, tdim, 71)
+	s := newShardedL2(t, pts, 4, 72)
+	s.SetAutoCompact(1)
+
+	var doomed []int32
+	for id := int32(2); id < tn; id += 5 {
+		doomed = append(doomed, id)
+	}
+	if got := s.Delete(doomed); got != len(doomed) {
+		t.Fatalf("Delete = %d, want %d", got, len(doomed))
+	}
+	removed, err := s.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(doomed) {
+		t.Fatalf("CompactAll removed %d, want %d", removed, len(doomed))
+	}
+
+	loaded, _ := shardedRoundTrip(t, s)
+	assertShardedIdentical(t, s, loaded, denseData(tq, tdim, 73))
+
+	if got, want := loaded.Deleted(), len(doomed); got != want {
+		t.Fatalf("restored tombstone count = %d, want %d (compacted ids stay reserved)", got, want)
+	}
+	if got := loaded.Delete(doomed); got != 0 {
+		t.Fatalf("re-deleting compacted ids after restore removed %d, want 0", got)
+	}
+	ids, err := loaded.Append(denseData(4, tdim, 74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if want := int32(tn + i); id != want {
+			t.Fatalf("post-restore append id = %d, want %d (high-water mark must survive)", id, want)
+		}
+	}
+	// The restored index must auto-compact like a fresh one: its dead
+	// bookkeeping starts clean after a compacting snapshot.
+	st := loaded.Stats()
+	if st.DeadTotal != 0 {
+		t.Fatalf("restored DeadTotal = %d, want 0", st.DeadTotal)
+	}
+	dead := make(map[int32]bool, len(doomed))
+	for _, id := range doomed {
+		dead[id] = true
+	}
+	for qi, q := range denseData(tq, tdim, 75) {
+		got, _ := loaded.Query(q)
+		for _, id := range got {
+			if dead[id] {
+				t.Fatalf("query %d reported compacted id %d after restore", qi, id)
+			}
+		}
+	}
+}
+
+// TestShardedRestoreCountsBucketedTombstones pins the weaker Restore
+// invariant: if a caller restores shard views that still contain
+// tombstoned points (legal through the shard API, though snapshots
+// never produce it), the dead bookkeeping must count them so the
+// auto-compaction trigger still sees the skew. Exercised through
+// vector restore of an uncompacted Snapshot view.
+func TestShardedRestoreCountsBucketedTombstones(t *testing.T) {
+	s := newShardedL2(t, denseData(tn, tdim, 81), 4, 82)
+	s.SetAutoCompact(1)
+	var doomed []int32
+	for id := int32(0); id < 40; id++ {
+		doomed = append(doomed, id)
+	}
+	s.Delete(doomed)
+	st := s.Stats()
+	if st.DeadTotal != len(doomed) {
+		t.Fatalf("DeadTotal = %d, want %d", st.DeadTotal, len(doomed))
+	}
+	if _, err := s.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DeadTotal != 0 {
+		t.Fatalf("DeadTotal = %d after CompactAll, want 0", st.DeadTotal)
+	}
+}
+
+// TestShardedCompactedEmptyShardRoundTrip compacts one shard down to
+// nothing and round-trips: the empty shard must serialize, restore and
+// keep answering.
+func TestShardedCompactedEmptyShardRoundTrip(t *testing.T) {
+	s := newShardedL2(t, denseData(tn, tdim, 91), 4, 92)
+	s.SetAutoCompact(1)
+	var doomed []int32
+	for id := int32(0); id < tn; id += 4 {
+		doomed = append(doomed, id) // build points: id mod 4 = shard
+	}
+	s.Delete(doomed)
+	if _, err := s.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if sizes := s.ShardSizes(); sizes[0] != 0 {
+		t.Fatalf("shard 0 size = %d after full compaction", sizes[0])
+	}
+	loaded, _ := shardedRoundTrip(t, s)
+	assertShardedSameResults(t, s, loaded, denseData(tq, tdim, 93))
+}

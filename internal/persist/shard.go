@@ -5,7 +5,6 @@ import (
 	"io"
 	"slices"
 
-	"repro/internal/hll"
 	"repro/internal/lsh"
 	"repro/internal/shard"
 )
@@ -47,7 +46,10 @@ func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64
 			tombs[id] = struct{}{}
 		}
 		for _, sv := range shards {
-			points, ids, buckets := compactShard(sv, tombs)
+			points, ids, buckets, err := compactShard(sv, tombs)
+			if err != nil {
+				return err
+			}
 			e = enc{}
 			e.u64(uint64(len(ids)))
 			for _, id := range ids {
@@ -69,10 +71,13 @@ func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64
 // the surviving points and global ids are returned along with per-table
 // bucket maps whose local ids are remapped to the compacted positions
 // and whose sketches are rebuilt over the surviving ids (HLLs cannot
-// un-absorb a deletion, so rebuild is the only sound option). When the
-// shard holds no tombstoned point the original (live, read-locked)
-// state is returned without copying.
-func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([]P, []int32, []map[uint64]*lsh.Bucket) {
+// un-absorb a deletion, so rebuild is the only sound option). The bucket
+// rewrite is lsh.Tables.Compact — the same code the online
+// shard.Sharded.Compact path runs — so a snapshot of a tombstoned index
+// and a snapshot of the same index compacted online are byte-identical.
+// When the shard holds no tombstoned point the original (live,
+// read-locked) state is returned without copying.
+func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([]P, []int32, []map[uint64]*lsh.Bucket, error) {
 	dead := false
 	if len(tombs) > 0 {
 		for _, gid := range sv.IDs {
@@ -83,7 +88,7 @@ func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([
 		}
 	}
 	if !dead {
-		return sv.Index.Points(), sv.IDs, nil
+		return sv.Index.Points(), sv.IDs, nil, nil
 	}
 
 	all := sv.Index.Points()
@@ -100,34 +105,15 @@ func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([
 		ids = append(ids, gid)
 	}
 
-	params := sv.Index.Tables().Params()
-	buckets := make([]map[uint64]*lsh.Bucket, sv.Index.Tables().L())
-	for j := range buckets {
-		src := sv.Index.Tables().Table(j).Buckets
-		dst := make(map[uint64]*lsh.Bucket, len(src))
-		for key, b := range src {
-			kept := make([]int32, 0, len(b.IDs))
-			for _, l := range b.IDs {
-				if nl := remap[l]; nl >= 0 {
-					kept = append(kept, nl)
-				}
-			}
-			if len(kept) == 0 {
-				continue
-			}
-			nb := &lsh.Bucket{IDs: kept}
-			if len(kept) >= params.HLLThreshold {
-				s := hll.New(params.HLLRegisters)
-				for _, id := range kept {
-					s.AddID(uint64(id))
-				}
-				nb.Sketch = s
-			}
-			dst[key] = nb
-		}
-		buckets[j] = dst
+	nt, err := sv.Index.Tables().Compact(remap, len(points))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: compacting shard for snapshot: %w", err)
 	}
-	return points, ids, buckets
+	buckets := make([]map[uint64]*lsh.Bucket, nt.L())
+	for j := range buckets {
+		buckets[j] = nt.Table(j).Buckets
+	}
+	return points, ids, buckets, nil
 }
 
 // ReadSharded reads a sharded snapshot, requiring it to hold the given

@@ -1,0 +1,309 @@
+package shard_test
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/shard"
+)
+
+// TestCompactEquivalence is the sharded acceptance criterion: after
+// deleting ids and compacting every shard, each query's answer is
+// id-for-id the pre-compaction answer (tombstones are filtered either
+// way, so the global-id sets must be identical), and the bookkeeping
+// reports the compaction.
+func TestCompactEquivalence(t *testing.T) {
+	const n, dim, radius, shards = 1500, 12, 0.4, 4
+	points, queries := clustered(n, 50, dim, 0.01, 21)
+	sh, err := shard.New(points, shards, 21, l2Builder(dim, radius))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetAutoCompact(1) // compact explicitly below
+
+	r := rng.New(99)
+	var del []int32
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.3 {
+			del = append(del, int32(i))
+		}
+	}
+	sh.Delete(del)
+
+	pre := make([][]int32, len(queries))
+	for i, q := range queries {
+		ids, _ := sh.Query(q)
+		pre[i] = sorted(ids)
+		for _, id := range ids {
+			if slices.Contains(del, id) {
+				t.Fatalf("pre-compaction answer contains tombstoned id %d", id)
+			}
+		}
+	}
+
+	removed, err := sh.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(del) {
+		t.Fatalf("CompactAll removed %d points, want %d", removed, len(del))
+	}
+
+	for i, q := range queries {
+		ids, _ := sh.Query(q)
+		if !slices.Equal(sorted(ids), pre[i]) {
+			t.Fatalf("query %d: post-compaction answer %v != pre-compaction %v", i, sorted(ids), pre[i])
+		}
+	}
+
+	st := sh.Stats()
+	if st.DeadTotal != 0 {
+		t.Fatalf("DeadTotal = %d after CompactAll, want 0", st.DeadTotal)
+	}
+	if st.CompactionsTotal != shards {
+		t.Fatalf("CompactionsTotal = %d, want %d", st.CompactionsTotal, shards)
+	}
+	if st.Tombstones != len(del) {
+		t.Fatalf("Tombstones = %d after compaction, want %d (ids stay reserved)", st.Tombstones, len(del))
+	}
+	if want := n - len(del); st.Live != want {
+		t.Fatalf("Live = %d, want %d", st.Live, want)
+	}
+	total := 0
+	for _, s := range st.ShardSizes {
+		total += s
+	}
+	if want := n - len(del); total != want {
+		t.Fatalf("shard sizes sum to %d after compaction, want %d", total, want)
+	}
+
+	// Deleted ids stay reserved: new appends continue above the old
+	// high-water mark and re-deleting a compacted id is a no-op.
+	ids, err := sh.Append(points[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if int(id) < n {
+			t.Fatalf("Append reused id %d from the compacted space", id)
+		}
+	}
+	if got := sh.Delete(del[:5]); got != 0 {
+		t.Fatalf("re-deleting compacted ids deleted %d, want 0", got)
+	}
+
+	// Compacting again is a no-op.
+	removed, err = sh.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("second CompactAll removed %d, want 0", removed)
+	}
+}
+
+// TestAutoCompactTrigger drives one shard's tombstone ratio over the
+// default 20% threshold via Delete alone and expects that shard — and
+// only that shard — to have been compacted.
+func TestAutoCompactTrigger(t *testing.T) {
+	const n, dim, radius, shards = 1000, 10, 0.4, 4
+	points, _ := clustered(n, 30, dim, 0.01, 5)
+	sh, err := shard.New(points, shards, 5, l2Builder(dim, radius))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build points are distributed round-robin: id i lives in shard
+	// i mod shards. Delete 30% of shard 0's points, one by one.
+	var del []int32
+	for i := 0; len(del) < (n/shards)*30/100; i += shards {
+		del = append(del, int32(i))
+	}
+	sh.Delete(del)
+
+	st := sh.Stats()
+	if st.Compactions[0] == 0 {
+		t.Fatalf("shard 0 at %d/%d dead was not auto-compacted: %+v", len(del), n/shards, st)
+	}
+	if st.DeadInBuckets[0] != 0 {
+		t.Fatalf("shard 0 still has %d dead points in buckets after auto-compaction", st.DeadInBuckets[0])
+	}
+	for j := 1; j < shards; j++ {
+		if st.Compactions[j] != 0 {
+			t.Fatalf("shard %d was compacted without any deletes", j)
+		}
+	}
+
+	// Below-threshold deletes must not trigger.
+	sh2, err := shard.New(points, shards, 5, l2Builder(dim, radius))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2.Delete([]int32{0, 4, 8}) // 3 of 250 points in shard 0
+	if got := sh2.Stats().CompactionsTotal; got != 0 {
+		t.Fatalf("below-threshold delete triggered %d compactions", got)
+	}
+}
+
+func TestCompactValidation(t *testing.T) {
+	points, _ := clustered(100, 10, 8, 0.01, 7)
+	sh, err := shard.New(points, 2, 7, l2Builder(8, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Compact(-1); err == nil {
+		t.Fatal("Compact(-1) succeeded")
+	}
+	if _, err := sh.Compact(2); err == nil {
+		t.Fatal("Compact(out of range) succeeded")
+	}
+}
+
+// TestCompactEmptiesShard deletes every point of shard 0; compaction
+// must leave an empty but fully queryable shard.
+func TestCompactEmptiesShard(t *testing.T) {
+	const n, dim, shards = 400, 8, 4
+	points, queries := clustered(n, 20, dim, 0.01, 13)
+	sh, err := shard.New(points, shards, 13, l2Builder(dim, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.SetAutoCompact(1)
+	var del []int32
+	for i := 0; i < n; i += shards {
+		del = append(del, int32(i)) // all of shard 0
+	}
+	sh.Delete(del)
+	removed, err := sh.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != n/shards {
+		t.Fatalf("Compact(0) removed %d, want %d", removed, n/shards)
+	}
+	if sizes := sh.ShardSizes(); sizes[0] != 0 {
+		t.Fatalf("shard 0 size = %d after full compaction", sizes[0])
+	}
+	for _, q := range queries {
+		ids, _ := sh.Query(q)
+		for _, id := range ids {
+			if id%shards == 0 && int(id) < n {
+				t.Fatalf("emptied shard still reported id %d", id)
+			}
+		}
+	}
+}
+
+// TestCompactUnderTraffic races queries, appends and deletes against
+// repeated compactions; run under -race it is the data-race acceptance
+// test, and its invariant checks catch lost points or resurrected
+// tombstones under any interleaving.
+func TestCompactUnderTraffic(t *testing.T) {
+	const n, dim, radius, shards = 800, 10, 0.4, 4
+	points, queries := clustered(n, 25, dim, 0.01, 31)
+	sh, err := shard.New(points, shards, 31, l2Builder(dim, radius))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave auto-compaction on (default threshold): deletes below also
+	// exercise the trigger concurrently with the explicit Compact loop.
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Queriers: answers must never contain an id deleted before the
+	// query started.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				q := queries[(i+w)%len(queries)]
+				ids, _ := sh.Query(q)
+				for _, id := range ids {
+					if id < 0 {
+						t.Errorf("negative id %d reported", id)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Appender: grows the index while shards are being rewritten.
+	appended := make(chan int32, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int32 = -1
+		for i := 0; !stop.Load(); i++ {
+			ids, err := sh.Append(points[i%len(points) : i%len(points)+1])
+			if err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			if ids[0] <= last {
+				t.Errorf("Append id %d not above previous %d", ids[0], last)
+			}
+			last = ids[0]
+		}
+		appended <- last
+	}()
+
+	// Deleter: tombstones build points round-robin.
+	deleted := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		count := 0
+		for i := 0; !stop.Load() && i < n/2; i++ {
+			count += sh.Delete([]int32{int32(i * 2 % n)})
+		}
+		deleted <- count
+	}()
+
+	// Compactor: hammer explicit compactions of every shard.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; !stop.Load(); j++ {
+			if _, err := sh.Compact(j % shards); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 40; i++ {
+		ids, _ := sh.Query(queries[i%len(queries)])
+		_ = ids
+	}
+	stop.Store(true)
+	wg.Wait()
+	lastID := <-appended
+	delCount := <-deleted
+
+	// Settle: compact everything and verify the final bookkeeping.
+	if _, err := sh.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.DeadTotal != 0 {
+		t.Fatalf("DeadTotal = %d after final CompactAll", st.DeadTotal)
+	}
+	if st.Tombstones != delCount {
+		t.Fatalf("Tombstones = %d, want %d", st.Tombstones, delCount)
+	}
+	if want := int(lastID) + 1 - delCount; st.Live != want {
+		t.Fatalf("Live = %d, want %d (%d allocated - %d deleted)", st.Live, want, lastID+1, delCount)
+	}
+	total := 0
+	for _, s := range st.ShardSizes {
+		total += s
+	}
+	if total != st.Live {
+		t.Fatalf("shard sizes sum to %d, Live = %d", total, st.Live)
+	}
+}

@@ -13,6 +13,23 @@
 // local id i/S, and Append assigns global ids from N upward exactly like
 // core.Index.Append. Queries therefore report the same id universe as
 // the unsharded index, which is what the equivalence tests assert.
+//
+// # Deletes and compaction
+//
+// Delete only tombstones: the deleted ids vanish from reports
+// immediately, but their points stay in the buckets, so the cost-model
+// inputs of the hybrid decision (LinearCost's n, the #collisions bucket
+// sizes, the per-bucket HLL sketches) keep counting them. Compact(j)
+// repairs that online: it rewrites shard j's index without the dead
+// points — same hash functions, buckets stripped of dead ids, sketches
+// rebuilt from the live ids — off the write lock, then swaps it in under
+// a brief write lock, so queries on the other S-1 shards never block and
+// queries on shard j normally wait only for the pointer swap (see
+// Compact for the one append-racing caveat). Delete triggers
+// compaction automatically once a shard's dead ratio exceeds the
+// SetAutoCompact threshold (default 20%). Deleted ids stay reserved
+// forever: compaction never shrinks the id space, so N(), snapshots and
+// future Appends keep seeing the holes.
 package shard
 
 import (
@@ -33,12 +50,20 @@ import (
 type Builder[P any] func(points []P, seed uint64) (*core.Index[P], error)
 
 // shardState is one partition: the immutable-under-RLock core index and
-// the local→global id map, both guarded by mu.
+// the local→global id map, both guarded by mu. compactMu serializes
+// compactions of this shard (held across the whole rewrite, which spans
+// an RLock phase and a Lock phase of mu) — it is always acquired before
+// mu and never while holding any other lock.
 type shardState[P any] struct {
-	mu  sync.RWMutex
-	ix  *core.Index[P]
-	ids []int32 // ids[local] = global id
+	mu        sync.RWMutex
+	ix        *core.Index[P]
+	ids       []int32 // ids[local] = global id
+	compactMu sync.Mutex
 }
+
+// DefaultCompactionThreshold is the dead-point ratio above which Delete
+// compacts a shard automatically (see SetAutoCompact).
+const DefaultCompactionThreshold = 0.20
 
 // Sharded is a concurrency-safe hybrid index over S core.Index shards.
 // Any number of Query/QueryBatch/Delete/Stats calls may run concurrently
@@ -53,10 +78,27 @@ type Sharded[P any] struct {
 	appendMu sync.Mutex
 	nextID   atomic.Int32
 
-	// tombMu guards tombs, the set of deleted global ids filtered out of
-	// every report.
+	// tombMu guards the delete/compaction bookkeeping below. Lock order:
+	// a goroutine holding a shard's mu may acquire tombMu, never the
+	// reverse (Delete releases tombMu before triggering compaction).
 	tombMu sync.RWMutex
-	tombs  map[int32]struct{}
+	// tombs is the set of deleted global ids, filtered out of every
+	// report. Ids stay in it forever — even after compaction removes the
+	// points from the buckets — because the id space never shrinks: N()
+	// and persisted snapshots account for the holes through this set.
+	tombs map[int32]struct{}
+	// owners[id] is the shard currently holding id's point, or -1 once
+	// compaction dropped it from the buckets. It attributes each delete
+	// to a shard in O(1) so the auto-compaction trigger knows per-shard
+	// dead ratios without scanning.
+	owners []int32
+	// shardDead[j] counts shard j's tombstoned-but-still-bucketed points
+	// — the part of tombs that still skews shard j's cost model.
+	shardDead []int
+	// compactions[j] counts completed compactions of shard j.
+	compactions []int64
+	// compactThresh is the auto-compaction trigger ratio; >= 1 disables.
+	compactThresh float64
 }
 
 // shardSeed derives the construction seed of shard i so that shards draw
@@ -85,15 +127,21 @@ func New[P any](points []P, s int, seed uint64, build Builder[P]) (*Sharded[P], 
 
 	parts := make([][]P, s)
 	ids := make([][]int32, s)
+	owners := make([]int32, len(points))
 	for i := range points {
 		j := i % s
 		parts[j] = append(parts[j], points[i])
 		ids[j] = append(ids[j], int32(i))
+		owners[i] = int32(j)
 	}
 
 	sh := &Sharded[P]{
-		shards: make([]*shardState[P], s),
-		tombs:  make(map[int32]struct{}),
+		shards:        make([]*shardState[P], s),
+		tombs:         make(map[int32]struct{}),
+		owners:        owners,
+		shardDead:     make([]int, s),
+		compactions:   make([]int64, s),
+		compactThresh: DefaultCompactionThreshold,
 	}
 	sh.nextID.Store(int32(len(points)))
 	errs := make([]error, s)
@@ -175,8 +223,15 @@ func Restore[P any](shards []ShardSnapshot[P], nextID int32, tombstones []int32)
 		return nil, fmt.Errorf("shard: Restore with nextID = %d, want >= 0", nextID)
 	}
 	sh := &Sharded[P]{
-		shards: make([]*shardState[P], len(shards)),
-		tombs:  make(map[int32]struct{}, len(tombstones)),
+		shards:        make([]*shardState[P], len(shards)),
+		tombs:         make(map[int32]struct{}, len(tombstones)),
+		owners:        make([]int32, nextID),
+		shardDead:     make([]int, len(shards)),
+		compactions:   make([]int64, len(shards)),
+		compactThresh: DefaultCompactionThreshold,
+	}
+	for i := range sh.owners {
+		sh.owners[i] = -1
 	}
 	for _, id := range tombstones {
 		if id < 0 || id >= nextID {
@@ -200,6 +255,14 @@ func Restore[P any](shards []ShardSnapshot[P], nextID int32, tombstones []int32)
 				return nil, fmt.Errorf("shard: Restore id %d appears in more than one shard", id)
 			}
 			seen[id] = struct{}{}
+			sh.owners[id] = int32(j)
+			// A snapshot normally compacts tombstoned points out, but the
+			// invariant Restore itself enforces is weaker; count any
+			// still-bucketed tombstone so the auto-compaction trigger
+			// sees it.
+			if _, dead := sh.tombs[id]; dead {
+				sh.shardDead[j]++
+			}
 		}
 		sh.shards[j] = &shardState[P]{ix: v.Index, ids: v.IDs}
 	}
@@ -363,11 +426,11 @@ func (s *Sharded[P]) Append(points []P) ([]int32, error) {
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
 
-	target := s.shards[0]
+	target, targetIdx := s.shards[0], 0
 	min := target.size()
-	for _, st := range s.shards[1:] {
+	for j, st := range s.shards[1:] {
 		if n := st.size(); n < min {
-			target, min = st, n
+			target, targetIdx, min = st, j+1, n
 		}
 	}
 	base := s.nextID.Load() // only Append writes nextID, and appends serialize
@@ -388,6 +451,13 @@ func (s *Sharded[P]) Append(points []P) ([]int32, error) {
 		ids[i] = base + int32(i)
 	}
 	target.ids = append(target.ids, ids...)
+	// Record the new ids' owning shard before publishing them through
+	// nextID, so Delete never sees an id without an owners entry.
+	s.tombMu.Lock()
+	for range ids {
+		s.owners = append(s.owners, int32(targetIdx))
+	}
+	s.tombMu.Unlock()
 	s.nextID.Add(int32(len(points)))
 	return ids, nil
 }
@@ -402,10 +472,15 @@ func (st *shardState[P]) size() int {
 
 // Delete tombstones the given global ids: they disappear from all future
 // reports immediately. Unknown or already-deleted ids are ignored. It
-// returns the number of ids newly deleted. The underlying buckets are not
-// rewritten, so the cost-model inputs (bucket sizes, sketches) still
-// count tombstoned points; callers that delete a large fraction of the
-// index should rebuild it.
+// returns the number of ids newly deleted.
+//
+// A tombstone alone does not touch the hash tables, so the deleted
+// points keep skewing the cost-model inputs (LinearCost's n, bucket
+// sizes, sketches) until the shard is compacted. Delete therefore
+// triggers Compact on every shard whose dead ratio the call pushes over
+// the SetAutoCompact threshold, synchronously — the occasional Delete
+// pays the shard rewrite, but queries keep flowing throughout (see
+// Compact). Deleted ids are never reused.
 func (s *Sharded[P]) Delete(ids []int32) int {
 	if len(ids) == 0 {
 		return 0
@@ -414,17 +489,176 @@ func (s *Sharded[P]) Delete(ids []int32) int {
 
 	s.tombMu.Lock()
 	deleted := 0
+	touched := make(map[int]struct{}) // shards that absorbed dead points in this call
 	for _, id := range ids {
 		if id < 0 || id >= max {
 			continue
 		}
-		if _, dead := s.tombs[id]; !dead {
-			s.tombs[id] = struct{}{}
-			deleted++
+		if _, dead := s.tombs[id]; dead {
+			continue
+		}
+		s.tombs[id] = struct{}{}
+		deleted++
+		if j := s.owners[id]; j >= 0 {
+			s.shardDead[j]++
+			touched[int(j)] = struct{}{}
 		}
 	}
 	s.tombMu.Unlock()
+
+	// Trigger compactions outside tombMu (Compact acquires shard locks;
+	// tombMu is never held across a shard-lock acquisition).
+	for j := range touched {
+		s.maybeCompact(j)
+	}
 	return deleted
+}
+
+// maybeCompact compacts shard j if its dead ratio exceeds the
+// auto-compaction threshold. The ratio check is advisory — counters may
+// move between the read and the compaction — and a compaction error
+// leaves the shard serving its uncompacted (correct, just slower) state,
+// so the error is deliberately dropped here; explicit Compact calls get
+// it returned.
+func (s *Sharded[P]) maybeCompact(j int) {
+	s.tombMu.RLock()
+	thresh := s.compactThresh
+	dead := s.shardDead[j]
+	s.tombMu.RUnlock()
+	if thresh >= 1 || dead == 0 {
+		return
+	}
+	n := s.shards[j].size()
+	if n == 0 || float64(dead)/float64(n) <= thresh {
+		return
+	}
+	s.Compact(j)
+}
+
+// SetAutoCompact sets the tombstone-ratio threshold above which Delete
+// compacts a shard automatically: a shard is compacted when its
+// dead-in-buckets points exceed threshold × its total (live + dead)
+// points. threshold <= 0 restores DefaultCompactionThreshold; threshold
+// >= 1 disables auto-compaction (explicit Compact/CompactAll still
+// work). Safe to call at any time, including concurrently with traffic.
+func (s *Sharded[P]) SetAutoCompact(threshold float64) {
+	if threshold <= 0 {
+		threshold = DefaultCompactionThreshold
+	}
+	s.tombMu.Lock()
+	s.compactThresh = threshold
+	s.tombMu.Unlock()
+}
+
+// Compact rewrites shard j without its tombstoned points and returns how
+// many points it removed. The heavy work — stripping dead ids from every
+// bucket, renumbering survivors, rebuilding the per-bucket HLL sketches
+// from live ids, all while keeping the drawn hash functions — happens on
+// a compacted copy built under the shard's read lock: queries on the
+// other S-1 shards are untouched, and queries on shard j keep flowing
+// too unless an append routed to shard j arrives mid-rewrite (the
+// waiting writer then parks later readers of that shard until the
+// rewrite finishes; appends route to the smallest shard, so this is
+// rare). The copy is then swapped in under a write lock held just long
+// enough to absorb any append that slipped between the two phases and
+// flip the pointers.
+//
+// After Compact the shard's strategy decisions count zero dead points:
+// LinearCost uses the live n, no bucket holds a tombstoned id, and the
+// sketches estimate over live ids only. Query answers are id-for-id the
+// pre-compaction answers minus the deleted points. The compacted ids
+// remain tombstoned and reserved — the global id space never shrinks, so
+// snapshots and N() keep accounting for the holes, exactly as
+// persist.WriteSharded's snapshot-time compaction does.
+//
+// Compactions of the same shard serialize; Compact may run concurrently
+// with queries, appends, deletes, snapshots and compactions of other
+// shards. Compacting a shard with no tombstoned points is a cheap no-op.
+func (s *Sharded[P]) Compact(j int) (int, error) {
+	if j < 0 || j >= len(s.shards) {
+		return 0, fmt.Errorf("shard: Compact(%d) with %d shards", j, len(s.shards))
+	}
+	st := s.shards[j]
+	st.compactMu.Lock()
+	defer st.compactMu.Unlock()
+
+	// Phase 1 — build the compacted index under the read lock: queries
+	// keep flowing everywhere, appends to this shard wait. compactMu
+	// guarantees st.ix is not swapped under us.
+	st.mu.RLock()
+	ix0 := st.ix
+	n0 := ix0.N()
+	ids0 := st.ids[:n0:n0] // entries [0,n0) are append-only, safe past RUnlock
+	dead := make([]bool, n0)
+	ndead := 0
+	s.tombMu.RLock()
+	for l, gid := range ids0 {
+		if _, d := s.tombs[gid]; d {
+			dead[l] = true
+			ndead++
+		}
+	}
+	s.tombMu.RUnlock()
+	if ndead == 0 {
+		st.mu.RUnlock()
+		return 0, nil
+	}
+	nix, err := ix0.Compact(dead)
+	st.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	newIDs := make([]int32, 0, n0-ndead)
+	for l, gid := range ids0 {
+		if !dead[l] {
+			newIDs = append(newIDs, gid)
+		}
+	}
+
+	// Phase 2 — swap under a brief write lock. Appends that landed
+	// between the phases grew ix0 past n0; absorb that tail into the
+	// compacted index (cheap: only the delta is hashed) so no point is
+	// lost.
+	st.mu.Lock()
+	if n1 := st.ix.N(); n1 > n0 {
+		if err := nix.Append(st.ix.Points()[n0:n1]); err != nil {
+			st.mu.Unlock()
+			return 0, err
+		}
+		newIDs = append(newIDs, st.ids[n0:n1]...)
+	}
+	st.ix = nix
+	st.ids = newIDs
+	st.mu.Unlock()
+
+	// Phase 3 — bookkeeping: the compacted ids no longer live in any
+	// bucket, so they stop counting toward the shard's dead ratio; they
+	// stay in tombs forever (the id space keeps its holes).
+	s.tombMu.Lock()
+	for l, gid := range ids0 {
+		if dead[l] {
+			s.owners[gid] = -1
+		}
+	}
+	s.shardDead[j] -= ndead
+	s.compactions[j]++
+	s.tombMu.Unlock()
+	return ndead, nil
+}
+
+// CompactAll compacts every shard in turn and returns the total number
+// of points removed. On error the already-compacted shards stay
+// compacted.
+func (s *Sharded[P]) CompactAll() (int, error) {
+	total := 0
+	for j := range s.shards {
+		n, err := s.Compact(j)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // Deleted returns the current tombstone count.
@@ -449,18 +683,40 @@ func (s *Sharded[P]) ShardSizes() []int {
 type Stats struct {
 	// Shards is the partition count.
 	Shards int
-	// ShardSizes[j] is shard j's point count, tombstones included.
+	// ShardSizes[j] is shard j's point count, not-yet-compacted
+	// tombstones included.
 	ShardSizes []int
-	// Live is the total live point count, Tombstones the deleted count.
+	// Live is the total live point count, Tombstones the deleted count
+	// (compacted or not — deleted ids stay reserved forever).
 	Live, Tombstones int
+	// DeadInBuckets[j] is shard j's tombstoned-but-not-yet-compacted
+	// point count — the deletions still skewing its cost model.
+	// DeadTotal sums them.
+	DeadInBuckets []int
+	DeadTotal     int
+	// Compactions[j] counts completed compactions of shard j;
+	// CompactionsTotal sums them.
+	Compactions      []int64
+	CompactionsTotal int64
 }
 
 // Stats snapshots the topology.
 func (s *Sharded[P]) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Shards:     len(s.shards),
 		ShardSizes: s.ShardSizes(),
 		Live:       s.N(),
 		Tombstones: s.Deleted(),
 	}
+	s.tombMu.RLock()
+	st.DeadInBuckets = append([]int(nil), s.shardDead...)
+	st.Compactions = append([]int64(nil), s.compactions...)
+	s.tombMu.RUnlock()
+	for _, d := range st.DeadInBuckets {
+		st.DeadTotal += d
+	}
+	for _, c := range st.Compactions {
+		st.CompactionsTotal += c
+	}
+	return st
 }

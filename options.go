@@ -13,15 +13,16 @@ import (
 type Option func(*options)
 
 type options struct {
-	delta     float64
-	tables    int
-	k         int
-	hllRegs   int
-	hllThresh int
-	seed      uint64
-	cost      core.CostModel
-	slotWidth float64
-	shards    int
+	delta         float64
+	tables        int
+	k             int
+	hllRegs       int
+	hllThresh     int
+	seed          uint64
+	cost          core.CostModel
+	slotWidth     float64
+	shards        int
+	compactThresh float64
 }
 
 // shardCount resolves the shard count for the sharded constructors
@@ -92,6 +93,21 @@ func WithShards(s int) Option {
 			panic(fmt.Sprintf("hybridlsh: WithShards(%d), want >= 1", s))
 		}
 		o.shards = s
+	}
+}
+
+// WithCompactionThreshold sets the sharded constructors' auto-compaction
+// trigger: a shard is compacted — dead points dropped from its buckets,
+// sketches rebuilt from live ids, hash functions kept — once Delete
+// pushes its tombstoned-point ratio above t. Default 0.20; t >= 1
+// disables auto-compaction (explicit Compact/CompactAll still work).
+// Plain (unsharded) constructors ignore it.
+func WithCompactionThreshold(t float64) Option {
+	return func(o *options) {
+		if t <= 0 {
+			panic(fmt.Sprintf("hybridlsh: WithCompactionThreshold(%v), want > 0", t))
+		}
+		o.compactThresh = t
 	}
 }
 

@@ -26,6 +26,13 @@ type ShardStats = shard.Stats
 // same point slice it shares L2Index's id universe (point i keeps id i);
 // reported sets agree up to the per-point δ failure probability, since
 // the shards draw independent hash functions.
+//
+// Deleted points are compacted out of a shard's buckets — keeping the
+// drawn hash functions, rebuilding the sketches from live ids —
+// automatically once the shard's tombstone ratio crosses
+// WithCompactionThreshold (default 20%), or on demand via the promoted
+// Compact/CompactAll methods, so the hybrid strategy decision never
+// drifts under delete-heavy traffic.
 type ShardedL2Index struct{ *shard.Sharded[Dense] }
 
 // NewShardedL2Index builds a sharded hybrid L2 index for radius r. The
@@ -48,6 +55,9 @@ func NewShardedL2Index(points []Dense, r float64, opts ...Option) (*ShardedL2Ind
 	if err != nil {
 		return nil, err
 	}
+	if o.compactThresh != 0 {
+		s.SetAutoCompact(o.compactThresh)
+	}
 	return &ShardedL2Index{s}, nil
 }
 
@@ -69,6 +79,9 @@ func NewShardedHammingIndex(points []Binary, r float64, opts ...Option) (*Sharde
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.compactThresh != 0 {
+		s.SetAutoCompact(o.compactThresh)
 	}
 	return &ShardedHammingIndex{s}, nil
 }

@@ -171,3 +171,117 @@ func TestShardedAppendDeleteRoundTrip(t *testing.T) {
 		t.Fatalf("Stats() = %+v, want Live 202, Tombstones 1", st)
 	}
 }
+
+// TestShardedHammingCompactEquivalence is the root-level Hamming leg of
+// the compaction equivalence property: delete, compact via the promoted
+// methods, and require answers id-for-id minus the deleted ids.
+func TestShardedHammingCompactEquivalence(t *testing.T) {
+	const (
+		dim    = 256
+		nc     = 30
+		n      = 600
+		radius = 8
+	)
+	r := rng.New(53)
+	protos := make([]vector.Binary, nc)
+	for i := range protos {
+		b := NewBinaryVector(dim)
+		for j := 0; j < dim; j++ {
+			if r.Float64() < 0.5 {
+				b.SetBit(j, true)
+			}
+		}
+		protos[i] = b
+	}
+	points := make([]Binary, n)
+	for i := range points {
+		b := protos[i%nc].Clone()
+		for f := 0; f < 2; f++ {
+			b.FlipBit(r.Intn(dim))
+		}
+		points[i] = b
+	}
+	sh, err := NewShardedHammingIndex(points, radius, WithSeed(8), WithShards(4),
+		WithCompactionThreshold(1)) // compact explicitly below
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var del []int32
+	for id := int32(0); id < n; id += 3 {
+		del = append(del, id)
+	}
+	sh.Delete(del)
+	dead := make(map[int32]bool, len(del))
+	for _, id := range del {
+		dead[id] = true
+	}
+
+	pre := make([][]int32, len(protos))
+	for i, q := range protos {
+		ids, _ := sh.Query(q)
+		pre[i] = sortedIDs(ids)
+	}
+	removed, err := sh.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(del) {
+		t.Fatalf("CompactAll removed %d, want %d", removed, len(del))
+	}
+	for i, q := range protos {
+		ids, _ := sh.Query(q)
+		if !slices.Equal(sortedIDs(ids), pre[i]) {
+			t.Fatalf("query %d: answers changed across compaction: %v != %v", i, sortedIDs(ids), pre[i])
+		}
+		for _, id := range ids {
+			if dead[id] {
+				t.Fatalf("query %d reported compacted id %d", i, id)
+			}
+		}
+	}
+	if st := sh.Stats(); st.DeadTotal != 0 || st.Tombstones != len(del) {
+		t.Fatalf("Stats after CompactAll = %+v, want dead 0, tombstones %d", st, len(del))
+	}
+}
+
+// TestShardedL2AutoCompaction exercises WithCompactionThreshold end to
+// end on the dense index: deleting one shard's worth of points past the
+// threshold compacts it without any explicit call.
+func TestShardedL2AutoCompaction(t *testing.T) {
+	points, queries := tightClusters(800, 20, 8, 41)
+	sh, err := NewShardedL2Index(points, 0.3, WithSeed(3), WithShards(4),
+		WithCompactionThreshold(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del []int32
+	for id := int32(0); id < 160; id += 4 {
+		del = append(del, id) // 40 of shard 0's 200 points = 20% > 10%
+	}
+	sh.Delete(del)
+	st := sh.Stats()
+	if st.CompactionsTotal == 0 {
+		t.Fatalf("no auto-compaction after deleting past the threshold: %+v", st)
+	}
+	if st.DeadInBuckets[0] != 0 {
+		t.Fatalf("shard 0 keeps %d dead points after auto-compaction", st.DeadInBuckets[0])
+	}
+	for qi, q := range queries {
+		ids, _ := sh.Query(q)
+		for _, id := range ids {
+			if id < 160 && id%4 == 0 {
+				t.Fatalf("query %d reported deleted id %d", qi, id)
+			}
+		}
+	}
+}
+
+func TestWithCompactionThresholdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("applying WithCompactionThreshold(0) did not panic")
+		}
+	}()
+	applyOptions([]Option{WithCompactionThreshold(0)})
+}
