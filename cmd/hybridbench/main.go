@@ -9,6 +9,7 @@
 //	hybridbench -exp fig3              # Figure 3: Webspam output sizes & LS%
 //	hybridbench -exp persist           # build-once-load-many: snapshot load vs rebuild
 //	hybridbench -exp delete            # tombstone skew vs online compaction
+//	hybridbench -exp multiprobe        # multi-probe T vs L at fixed recall
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, all")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
 		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
@@ -99,6 +100,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return persistExp(cfg, rep)
 	case "delete":
 		return deleteExp(cfg, rep)
+	case "multiprobe":
+		return multiProbeExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -123,10 +126,29 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		if err := persistExp(cfg, rep); err != nil {
 			return err
 		}
-		return deleteExp(cfg, rep)
+		if err := deleteExp(cfg, rep); err != nil {
+			return err
+		}
+		return multiProbeExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// multiProbeExp runs the multi-probe sweep: how few tables, probing T
+// extra buckets each, match the classic L-table index's recall.
+func multiProbeExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.MultiProbeExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Multi-probe — T probes vs L tables at fixed recall")
+	bench.PrintMultiProbe(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddMultiProbe(res)
+	}
+	return nil
 }
 
 // deleteExp runs the tombstone-skew experiment: how delete-heavy traffic

@@ -10,13 +10,26 @@
 // server is queryable out of the box) and grows via /append. Endpoints:
 //
 //	GET  /healthz  liveness: {"status":"ok"}
-//	POST /query    {"point": [...]}            -> ids + per-query stats
-//	POST /batch    {"points": [[...], ...]}    -> one result per query
-//	POST /append   {"points": [[...], ...]}    -> assigned ids
-//	POST /delete   {"ids": [...]}              -> tombstone count
-//	POST /compact  {"shard": j} or empty body  -> drop tombstoned points from buckets
-//	POST /snapshot                             -> persist to the -snapshot path
+//	POST /query    {"point": [...], "probes": T?} -> ids + per-query stats
+//	POST /batch    {"points": [[...], ...]}       -> one result per query
+//	POST /append   {"points": [[...], ...]}       -> assigned ids
+//	POST /delete   {"ids": [...]}                 -> tombstone count
+//	POST /compact  {"shard": j} or empty body     -> drop tombstoned points from buckets
+//	POST /snapshot                                -> persist to the -snapshot path
 //	GET  /stats    topology, strategy mix, compactions, p50/p95/p99 latency
+//
+// # Multi-probe serving
+//
+// Passing -probes T (l2 only) serves a multi-probe index: every shard
+// probes, besides each query's home bucket, the T neighboring buckets
+// most likely to hold near points, so far fewer tables (-tables,
+// default 10 in this mode) reach the recall classic hybrid LSH buys
+// with L = 50 — the memory-constrained deployment mode. /query and
+// /batch then accept an optional "probes" field overriding T for that
+// request (clamped to 1024; 0 probes only home buckets), and /stats
+// gains a "multiprobe" block with the configured T and probe counters.
+// Snapshots record the probe configuration, so a warm restart of a
+// multi-probe server probes identical bucket sequences.
 //
 // Every request body is capped at -maxbody bytes (default 8 MiB);
 // oversized bodies get a 413 JSON error. Deletes are tombstones that
@@ -100,6 +113,10 @@ func main() {
 		"maximum request body size in bytes; larger bodies get a 413 JSON error")
 	flag.Float64Var(&cfg.compactThresh, "compactthreshold", cfg.compactThresh,
 		"auto-compact a shard once its tombstone ratio exceeds this; >= 1 disables auto-compaction")
+	flag.IntVar(&cfg.probes, "probes", cfg.probes,
+		"serve a multi-probe index probing T extra buckets per table (l2 only; 0 = classic hybrid index)")
+	flag.IntVar(&cfg.tables, "tables", cfg.tables,
+		"hash tables per shard index (0 = default: 50 classic, 10 multi-probe)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -110,8 +127,12 @@ func main() {
 	if srv.loadedFrom != "" {
 		log.Printf("hybridserve: warm start from %s (%d live points)", srv.loadedFrom, srv.be.topo().Live)
 	}
-	log.Printf("hybridserve: %s index, n=%d dim=%d r=%v shards=%d, listening on %s",
-		srv.cfg.metric, srv.be.topo().Live, srv.cfg.dim, srv.cfg.radius, srv.cfg.shards, cfg.addr)
+	mode := ""
+	if srv.cfg.probes > 0 {
+		mode = fmt.Sprintf(" multi-probe T=%d", srv.cfg.probes)
+	}
+	log.Printf("hybridserve: %s%s index, n=%d dim=%d r=%v shards=%d, listening on %s",
+		srv.cfg.metric, mode, srv.be.topo().Live, srv.cfg.dim, srv.cfg.radius, srv.cfg.shards, cfg.addr)
 	if err := serve(cfg.addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridserve:", err)
 		os.Exit(1)
@@ -151,6 +172,8 @@ type config struct {
 	snapshot      string
 	maxBody       int64
 	compactThresh float64
+	probes        int
+	tables        int
 }
 
 func defaultConfig() config {
@@ -168,11 +191,18 @@ func defaultConfig() config {
 	}
 }
 
+// maxProbeOverride caps the per-request "probes" field: probe-key
+// generation is O(T) heap work per table, so an unbounded override
+// would hand clients a cheap way to burn server CPU.
+const maxProbeOverride = 1024
+
 // backend abstracts the two point types behind the JSON boundary; the
-// concrete engines parse requests into their own P.
+// concrete engines parse requests into their own P. probes carries the
+// request's optional probe override (nil = the server's configured
+// mode) and is rejected by non-multi-probe backends.
 type backend interface {
-	query(raw json.RawMessage) (*queryResult, error)
-	batch(raw []json.RawMessage, workers int) ([]*queryResult, error)
+	query(raw json.RawMessage, probes *int) (*queryResult, error)
+	batch(raw []json.RawMessage, workers int, probes *int) ([]*queryResult, error)
 	appendPoints(raw []json.RawMessage) ([]int32, error)
 	remove(ids []int32) int
 	compact(shardIdx int) (int, error) // shardIdx < 0 compacts every shard
@@ -192,6 +222,12 @@ type server struct {
 	queries    atomic.Int64 // queries answered (batch members count)
 	lshAns     atomic.Int64 // shard answers via LSH-based search
 	linAns     atomic.Int64 // shard answers via linear scan
+	// Multi-probe counters (zero on classic backends): queries answered
+	// via the probe path, the summed T they used, and how many carried a
+	// per-request override.
+	probeQueries   atomic.Int64
+	probesUsed     atomic.Int64
+	probeOverrides atomic.Int64
 }
 
 func newServer(cfg config) (*server, error) {
@@ -213,6 +249,15 @@ func newServer(cfg config) (*server, error) {
 	if cfg.compactThresh <= 0 {
 		return nil, fmt.Errorf("compactthreshold = %v, want > 0 (>= 1 disables)", cfg.compactThresh)
 	}
+	if cfg.probes < 0 {
+		return nil, fmt.Errorf("probes = %d, want >= 0", cfg.probes)
+	}
+	if cfg.probes > 0 && cfg.metric != "l2" {
+		return nil, fmt.Errorf("multi-probe serving (-probes) supports -metric l2 only, got %q", cfg.metric)
+	}
+	if cfg.tables < 0 {
+		return nil, fmt.Errorf("tables = %d, want >= 0", cfg.tables)
+	}
 	loadedFrom := ""
 	be, err := loadBackend(&cfg)
 	if err != nil {
@@ -221,17 +266,26 @@ func newServer(cfg config) (*server, error) {
 	if be != nil {
 		loadedFrom = cfg.snapshot
 	} else {
-		switch cfg.metric {
-		case "l2":
-			ix, err := hybridlsh.NewShardedL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius,
-				hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+		opts := []hybridlsh.Option{hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards)}
+		if cfg.tables > 0 {
+			opts = append(opts, hybridlsh.WithTables(cfg.tables))
+		}
+		switch {
+		case cfg.metric == "l2" && cfg.probes > 0:
+			ix, err := hybridlsh.NewShardedMultiProbeL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius,
+				append(opts, hybridlsh.WithProbes(cfg.probes))...)
+			if err != nil {
+				return nil, err
+			}
+			be = &engine[hybridlsh.Dense]{sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim), probes: ix.Probes()}
+		case cfg.metric == "l2":
+			ix, err := hybridlsh.NewShardedL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius, opts...)
 			if err != nil {
 				return nil, err
 			}
 			be = &engine[hybridlsh.Dense]{sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim)}
-		case "hamming":
-			ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius,
-				hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+		case cfg.metric == "hamming":
+			ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius, opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -272,7 +326,7 @@ func loadBackend(cfg *config) (backend, error) {
 			return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, err)
 		}
 		meta = m
-		be = &engine[hybridlsh.Dense]{sh: sh, metric: persist.MetricL2, parse: parseDense(m.Dim)}
+		be = &engine[hybridlsh.Dense]{sh: sh, metric: persist.MetricL2, parse: parseDense(m.Dim), probes: m.Probes}
 	case "hamming":
 		sh, m, err := persist.ReadSharded[hybridlsh.Binary](br, persist.MetricHamming)
 		if err != nil {
@@ -286,6 +340,7 @@ func loadBackend(cfg *config) (backend, error) {
 	cfg.dim = meta.Dim
 	cfg.radius = meta.Radius
 	cfg.shards = meta.Shards
+	cfg.probes = meta.Probes // the snapshot decides the serving mode
 	return be, nil
 }
 
@@ -392,7 +447,9 @@ func parseBinary(dim int) func(json.RawMessage) (hybridlsh.Binary, error) {
 	}
 }
 
-// queryResult is the wire form of one answered query.
+// queryResult is the wire form of one answered query. Probes is set
+// only on multi-probe backends (the effective T the query used);
+// override records whether the request supplied its own T.
 type queryResult struct {
 	IDs          []int32 `json:"ids"`
 	LSHShards    int     `json:"lsh_shards"`
@@ -400,6 +457,8 @@ type queryResult struct {
 	Collisions   int     `json:"collisions"`
 	Candidates   int     `json:"candidates"`
 	WallUS       float64 `json:"wall_us"`
+	Probes       *int    `json:"probes,omitempty"`
+	override     bool
 }
 
 func toResult(ids []int32, st shard.QueryStats) *queryResult {
@@ -417,22 +476,68 @@ func toResult(ids []int32, st shard.QueryStats) *queryResult {
 }
 
 // engine adapts one concrete Sharded[P] to the JSON backend interface.
+// probes > 0 marks a multi-probe backend and carries its configured T.
 type engine[P any] struct {
 	sh     *shard.Sharded[P]
 	metric string // persist metric identifier for snapshots
 	parse  func(json.RawMessage) (P, error)
+	probes int
 }
 
-func (e *engine[P]) query(raw json.RawMessage) (*queryResult, error) {
+// resolveProbes maps a request's optional probe override to the
+// effective T for this backend: nil keeps the configured T, an explicit
+// value is validated and clamped to maxProbeOverride. Classic backends
+// reject overrides instead of silently ignoring them.
+func (e *engine[P]) resolveProbes(probes *int) (int, bool, error) {
+	if e.probes == 0 {
+		if probes != nil {
+			return 0, false, errors.New(`"probes" is only supported when the server runs a multi-probe index (start with -probes)`)
+		}
+		return 0, false, nil
+	}
+	if probes == nil {
+		return e.probes, false, nil
+	}
+	t := *probes
+	if t < 0 {
+		return 0, false, fmt.Errorf("probes = %d, want >= 0", t)
+	}
+	if t > maxProbeOverride {
+		t = maxProbeOverride
+	}
+	return t, true, nil
+}
+
+func (e *engine[P]) query(raw json.RawMessage, probes *int) (*queryResult, error) {
+	t, override, err := e.resolveProbes(probes)
+	if err != nil {
+		return nil, err
+	}
 	p, err := e.parse(raw)
 	if err != nil {
 		return nil, err
 	}
-	ids, st := e.sh.Query(p)
-	return toResult(ids, st), nil
+	var res *queryResult
+	if e.probes == 0 {
+		ids, st := e.sh.Query(p)
+		res = toResult(ids, st)
+	} else {
+		ids, st, err := e.sh.QueryProbes(p, t)
+		if err != nil {
+			return nil, err
+		}
+		res = toResult(ids, st)
+		res.Probes = &t
+		res.override = override
+	}
+	return res, nil
 }
 
-func (e *engine[P]) batch(raw []json.RawMessage, workers int) ([]*queryResult, error) {
+func (e *engine[P]) batch(raw []json.RawMessage, workers int, probes *int) ([]*queryResult, error) {
+	t, override, err := e.resolveProbes(probes)
+	if err != nil {
+		return nil, err
+	}
 	pts := make([]P, len(raw))
 	for i, r := range raw {
 		p, err := e.parse(r)
@@ -441,10 +546,21 @@ func (e *engine[P]) batch(raw []json.RawMessage, workers int) ([]*queryResult, e
 		}
 		pts[i] = p
 	}
-	results := e.sh.QueryBatch(pts, workers)
+	var results []shard.BatchResult
+	if e.probes == 0 {
+		results = e.sh.QueryBatch(pts, workers)
+	} else {
+		if results, err = e.sh.QueryBatchProbes(pts, workers, t); err != nil {
+			return nil, err
+		}
+	}
 	out := make([]*queryResult, len(results))
 	for i, r := range results {
 		out[i] = toResult(r.IDs, r.Stats)
+		if e.probes != 0 {
+			out[i].Probes = &t
+			out[i].override = override
+		}
 	}
 	return out, nil
 }
@@ -498,6 +614,13 @@ func (s *server) record(r *queryResult) {
 	s.lshAns.Add(int64(r.LSHShards))
 	s.linAns.Add(int64(r.LinearShards))
 	s.lat.Observe(r.WallUS)
+	if r.Probes != nil {
+		s.probeQueries.Add(1)
+		s.probesUsed.Add(int64(*r.Probes))
+		if r.override {
+			s.probeOverrides.Add(1)
+		}
+	}
 }
 
 func (s *server) handler() http.Handler {
@@ -556,7 +679,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Point json.RawMessage `json:"point"`
+		Point  json.RawMessage `json:"point"`
+		Probes *int            `json:"probes"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, statusFor(err), err)
@@ -566,7 +690,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New(`missing "point"`))
 		return
 	}
-	res, err := s.be.query(req.Point)
+	res, err := s.be.query(req.Point, req.Probes)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -579,6 +703,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Points  []json.RawMessage `json:"points"`
 		Workers int               `json:"workers"`
+		Probes  *int              `json:"probes"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, statusFor(err), err)
@@ -597,7 +722,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Workers < 0 {
 		req.Workers = 0
 	}
-	results, err := s.be.batch(req.Points, req.Workers)
+	results, err := s.be.batch(req.Points, req.Workers, req.Probes)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -705,6 +830,13 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	topo := s.be.topo()
 	p := s.lat.Percentiles(0.50, 0.95, 0.99)
+	multiprobe := map[string]any{"enabled": s.cfg.probes > 0}
+	if s.cfg.probes > 0 {
+		multiprobe["probes"] = s.cfg.probes
+		multiprobe["probed_queries"] = s.probeQueries.Load()
+		multiprobe["probes_used_total"] = s.probesUsed.Load()
+		multiprobe["override_queries"] = s.probeOverrides.Load()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"metric":      s.cfg.metric,
 		"dim":         s.cfg.dim,
@@ -728,6 +860,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"lsh_shard_answers":    s.lshAns.Load(),
 			"linear_shard_answers": s.linAns.Load(),
 		},
+		"multiprobe": multiprobe,
 		"latency_us": map[string]any{
 			"p50":   p[0],
 			"p95":   p[1],

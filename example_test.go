@@ -4,6 +4,9 @@ import (
 	"fmt"
 
 	hybridlsh "repro"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/lsh"
 )
 
 // ExampleNewL2Index builds an index over a tiny point set and reports the
@@ -71,6 +74,78 @@ func ExampleAdvise() {
 	// Output:
 	// miss probability within budget: true
 	// k and L positive: true
+}
+
+// ExampleLadderOf builds a custom radius ladder for a metric without a
+// dedicated helper (here L1 with the paper's w = 4r per rung); the
+// metric-specific NewL2Ladder/NewHammingLadder are thin wrappers over
+// exactly this call.
+func ExampleLadderOf() {
+	points := []hybridlsh.Dense{{0, 0}, {0.5, 0}, {2, 0}, {9, 9}}
+	ladder, err := hybridlsh.LadderOf(0.5, 4.0, 2.0, distance.L1,
+		func(r float64) (*core.Index[hybridlsh.Dense], error) {
+			return core.NewIndex(points, core.Config[hybridlsh.Dense]{
+				Family:   lsh.NewPStableL1(2, 4*r),
+				Distance: distance.L1,
+				Radius:   r,
+				K:        8, // the paper's L1 setting
+				Seed:     1,
+			})
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rungs:", ladder.Rungs())
+	ids, _, err := ladder.Query(hybridlsh.Dense{0, 0}, 0.6) // routed to rung 1, filtered to 0.6
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(ids), "neighbors within L1 distance 0.6")
+	// Output:
+	// rungs: [0.5 1 2 4]
+	// 2 neighbors within L1 distance 0.6
+}
+
+// ExampleNewShardedL2Index_queryBatch answers many queries in parallel
+// against a sharded index: each query fans out across the shards, and
+// the batch runs several queries concurrently on top.
+func ExampleNewShardedL2Index_queryBatch() {
+	points := []hybridlsh.Dense{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // a tight corner cluster
+		{5, 5}, {5.1, 5}, // a second cluster
+		{9, 9}, // isolated
+	}
+	index, err := hybridlsh.NewShardedL2Index(points, 0.5,
+		hybridlsh.WithSeed(1), hybridlsh.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	queries := []hybridlsh.Dense{{0.05, 0.05}, {5.05, 5}}
+	for i, res := range index.QueryBatch(queries, 0) { // 0 = default workers
+		fmt.Printf("query %d: %d neighbors\n", i, len(res.IDs))
+	}
+	// Output:
+	// query 0: 3 neighbors
+	// query 1: 2 neighbors
+}
+
+// ExampleNewMultiProbeL2Index trades tables for probes: 4 tables
+// probing 9 buckets each (home + 8) instead of the classic 50 tables
+// probing one — the memory-constrained serving mode.
+func ExampleNewMultiProbeL2Index() {
+	points := []hybridlsh.Dense{
+		{0, 0}, {0.1, 0}, {0, 0.1}, // a tight corner cluster
+		{5, 5}, {9, 9}, // far away
+	}
+	index, err := hybridlsh.NewMultiProbeL2Index(points, 0.5,
+		hybridlsh.WithSeed(1), hybridlsh.WithTables(4), hybridlsh.WithProbes(8))
+	if err != nil {
+		panic(err)
+	}
+	ids, _ := index.Query(hybridlsh.Dense{0.05, 0.05})
+	fmt.Printf("%d neighbors from %d tables × %d probed buckets\n",
+		len(ids), index.L(), 1+index.Probes())
+	// Output: 3 neighbors from 4 tables × 9 probed buckets
 }
 
 // ExampleLadder serves arbitrary radii from one structure.

@@ -52,8 +52,32 @@
 // failure probability — the shards draw independent hash functions, so
 // the two structures may miss different neighbors that sit near the
 // radius boundary. cmd/hybridserve exposes a sharded index over HTTP JSON
-// (/query, /batch, /append, /delete, /stats, /healthz) with latency
-// percentiles.
+// (/query, /batch, /append, /delete, /compact, /snapshot, /stats,
+// /healthz) with latency percentiles.
+//
+// # Multi-probe serving mode
+//
+// Classic hybrid LSH buys recall with tables (L = 50 in the paper's
+// setting). NewMultiProbeL2Index and NewShardedMultiProbeL2Index trade
+// tables for probes instead: each of far fewer tables (default 10) is
+// probed at its home bucket plus the T neighboring buckets most likely
+// to hold near points (WithProbes, default 10; Lv et al., VLDB 2007),
+// which is the memory-constrained deployment mode — and the extension
+// Section 5 of the paper names as the best fit for its hybrid
+// strategy, since multi-probe inflates #collisions while the distinct
+// candidate count saturates. The multi-probe types expose the same
+// Query/QueryLSH/QueryLinear/DecideStrategy/QueryBatch/Append surface
+// plus per-call probe overrides (QueryProbes), shard, compact and
+// snapshot through the same machinery (the probe configuration is
+// recorded in the snapshot), and serve via hybridserve -probes.
+//
+// # Persistence
+//
+// Every index type implements io.WriterTo and has a matching Read
+// function (ReadL2Index, ReadShardedL2Index, ReadMultiProbeL2Index, …)
+// over the versioned hybridlsh-snap/v1 snapshot format; a loaded index
+// answers id-for-id identically to the saved one. See persist.go and
+// docs/SNAPSHOT_FORMAT.md for the layout and compatibility promise.
 package hybridlsh
 
 import (

@@ -89,7 +89,7 @@ func DeleteExperiment(cfg Config) (*DeleteResult, error) {
 	data, queries := dataset.SplitQueries(ds.Points, cfg.queries(len(ds.Points)), cfg.Seed+1)
 	r := ds.Meta.PaperRadii[len(ds.Meta.PaperRadii)/2]
 	const shards = 4
-	sh, err := shard.New(data, shards, cfg.Seed+3, func(pts []vector.Dense, seed uint64) (*core.Index[vector.Dense], error) {
+	sh, err := shard.New(data, shards, cfg.Seed+3, func(pts []vector.Dense, seed uint64) (core.Store[vector.Dense], error) {
 		return core.NewIndex(pts, core.Config[vector.Dense]{
 			Family:       lsh.NewPStableL2(dataset.CorelDim, 2*r),
 			Distance:     distance.L2,

@@ -26,12 +26,13 @@ type JSONFigure struct {
 // in production order. cmd/hybridbench writes it via -json so the perf
 // trajectory can be tracked across commits (BENCH_*.json files).
 type JSONReport struct {
-	Schema  string         `json:"schema"`
-	Config  Config         `json:"config"`
-	Table1  []Table1Row    `json:"table1,omitempty"`
-	Figures []JSONFigure   `json:"figures,omitempty"`
-	Persist *PersistResult `json:"persist,omitempty"`
-	Delete  *DeleteResult  `json:"delete,omitempty"`
+	Schema     string            `json:"schema"`
+	Config     Config            `json:"config"`
+	Table1     []Table1Row       `json:"table1,omitempty"`
+	Figures    []JSONFigure      `json:"figures,omitempty"`
+	Persist    *PersistResult    `json:"persist,omitempty"`
+	Delete     *DeleteResult     `json:"delete,omitempty"`
+	MultiProbe *MultiProbeResult `json:"multiprobe,omitempty"`
 }
 
 // NewJSONReport starts an empty report for the given configuration.
@@ -53,6 +54,9 @@ func (r *JSONReport) AddPersist(res *PersistResult) { r.Persist = res }
 
 // AddDelete records the delete/compaction experiment of the run.
 func (r *JSONReport) AddDelete(res *DeleteResult) { r.Delete = res }
+
+// AddMultiProbe records the T-vs-L multi-probe sweep of the run.
+func (r *JSONReport) AddMultiProbe(res *MultiProbeResult) { r.MultiProbe = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

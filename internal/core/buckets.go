@@ -1,0 +1,71 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/lsh"
+)
+
+// The bucket-set entry points: the hybrid decision and both search
+// paths over an externally assembled probe bucket set, instead of the
+// one-bucket-per-table set Query collects itself. They are how the
+// probing extensions (multi-probe LSH) reuse Algorithm 2 verbatim —
+// same short-circuits, same pooled scratch, same timing decomposition —
+// with #collisions and candSize taken over the (T+1)·L probed buckets.
+//
+// The buckets must belong to this index's tables (ids are interpreted
+// against ix.Points()); callers collect them via lsh.Tables.Table
+// lookups under their own probing scheme.
+
+// QueryBuckets answers one rNNR query with the hybrid strategy over the
+// given bucket set: decide from bucket sizes and merged sketches, then
+// run the dedup bucket search or the exact linear scan, whichever is
+// cheaper. EstimateTime covers the decision only — callers fold their
+// bucket-collection time in on top.
+func (ix *Index[P]) QueryBuckets(q P, buckets []*lsh.Bucket) ([]int32, QueryStats) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+
+	var stats QueryStats
+	t0 := time.Now()
+	stats.Strategy = ix.decide(buckets, st, &stats)
+	stats.EstimateTime = time.Since(t0)
+
+	t1 := time.Now()
+	var out []int32
+	if stats.Strategy == StrategyLSH {
+		out = ix.searchBuckets(q, buckets, st, &stats)
+	} else {
+		out = ix.searchLinear(q, &stats)
+	}
+	stats.SearchTime = time.Since(t1)
+	return out, stats
+}
+
+// QueryBucketsLSH forces the LSH-based search over the given bucket set
+// (no estimation, no fallback) — the multi-probe analogue of QueryLSH.
+func (ix *Index[P]) QueryBucketsLSH(q P, buckets []*lsh.Bucket) ([]int32, QueryStats) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+
+	var stats QueryStats
+	stats.Strategy = StrategyLSH
+	stats.Collisions = lsh.Collisions(buckets)
+	t0 := time.Now()
+	out := ix.searchBuckets(q, buckets, st, &stats)
+	stats.SearchTime = time.Since(t0)
+	return out, stats
+}
+
+// DecideBuckets runs only Algorithm-2 steps 1–3 over the given bucket
+// set and returns the decision without searching.
+func (ix *Index[P]) DecideBuckets(buckets []*lsh.Bucket) (Strategy, QueryStats) {
+	st := ix.getState()
+	defer ix.states.Put(st)
+
+	var stats QueryStats
+	t0 := time.Now()
+	stats.Strategy = ix.decide(buckets, st, &stats)
+	stats.EstimateTime = time.Since(t0)
+	return stats.Strategy, stats
+}

@@ -1,0 +1,45 @@
+package core
+
+// Store is the index contract the shard package builds on: one shard is
+// any hybrid index that can report its size, expose its point slice for
+// snapshots and compaction absorption, answer hybrid queries, grow by
+// appending, and rewrite itself without a set of dead points. Both the
+// plain *Index and multiprobe.Index satisfy it, which is what lets the
+// sharding, compaction and persistence machinery serve multi-probe
+// shards unchanged.
+//
+// Implementations follow Index's concurrency contract: any number of
+// concurrent Query calls, but Append is single-writer and CompactStore
+// may run concurrently with queries only (the shard layer provides the
+// locking).
+type Store[P any] interface {
+	// N returns the number of indexed points.
+	N() int
+	// Points exposes the stored point slice (read-only).
+	Points() []P
+	// Query answers one rNNR query with the hybrid strategy.
+	Query(q P) ([]int32, QueryStats)
+	// Append adds points under ids N..N+len(points)-1.
+	Append(points []P) error
+	// CompactStore returns a new store of the same concrete type without
+	// the points marked dead (see Index.Compact for the exact contract:
+	// hash functions kept, survivors rank-renumbered, sketches rebuilt).
+	CompactStore(dead []bool) (Store[P], error)
+}
+
+// ProbeQuerier is implemented by stores that can answer a query with a
+// per-call probe-count override (multi-probe LSH): t is the number of
+// extra buckets probed per table beyond the home bucket, t < 0 means
+// the store's configured default.
+type ProbeQuerier[P any] interface {
+	QueryProbes(q P, t int) ([]int32, QueryStats)
+}
+
+// CompactStore implements Store by delegating to Compact.
+func (ix *Index[P]) CompactStore(dead []bool) (Store[P], error) {
+	nix, err := ix.Compact(dead)
+	if err != nil {
+		return nil, err
+	}
+	return nix, nil
+}

@@ -14,6 +14,14 @@
 // per table — which makes candSize estimation (and hence the hybrid
 // decision) even more valuable, because #collisions grows with T while the
 // distinct candidate count saturates.
+//
+// Index wraps a core.Index and reuses its decision and search machinery
+// over the probed bucket set (core.Index.QueryBuckets), so the hybrid
+// semantics — short-circuits, cost model, dedup search, linear fallback —
+// are identical to the plain index's by construction. It satisfies
+// core.Store, which is what lets shard.Sharded fan out, tombstone,
+// auto-compact and snapshot multi-probe shards with the same machinery
+// as plain ones.
 package multiprobe
 
 import (
@@ -25,9 +33,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distance"
-	"repro/internal/hll"
 	"repro/internal/lsh"
 	"repro/internal/vector"
+)
+
+// DefaultProbes is T when Config.Probes is zero; DefaultTables is L when
+// Config.L is zero (multi-probe's point is that it needs far fewer than
+// the classic 50).
+const (
+	DefaultProbes = 10
+	DefaultTables = 10
 )
 
 // Config configures a multi-probe hybrid index.
@@ -38,17 +53,23 @@ type Config struct {
 	Distance distance.Func[vector.Dense]
 	// Radius is the reporting radius.
 	Radius float64
+	// Delta is the per-point failure probability δ (default 0.1). It is
+	// recorded on the index; k is never solved from it here because the
+	// multi-probe regime fixes K explicitly.
+	Delta float64
 	// K is the concatenation length (the multi-probe regime uses larger k
 	// and fewer tables than classic LSH).
 	K int
-	// L is the number of tables (default 10; multi-probe's point is that
-	// it needs far fewer than the classic 50).
+	// L is the number of tables (default DefaultTables).
 	L int
 	// Probes is T, the number of extra buckets probed per table beyond
-	// the home bucket (default 10).
+	// the home bucket (default DefaultProbes).
 	Probes int
 	// HLLRegisters is m (default 128).
 	HLLRegisters int
+	// HLLThreshold is the minimum bucket size that gets a pre-built
+	// sketch (default HLLRegisters).
+	HLLThreshold int
 	// Cost is the cost model (default core.DefaultCostModel).
 	Cost core.CostModel
 	// Seed fixes construction randomness.
@@ -56,16 +77,26 @@ type Config struct {
 }
 
 // Index is a multi-probe LSH structure with per-bucket HLL sketches and
-// hybrid query answering. It is safe for concurrent queries.
+// hybrid query answering. It wraps a plain core.Index (same tables, same
+// sketches, same cost model) and differs only in the bucket set a query
+// collects: the home bucket plus the T most promising neighbors per
+// table. It is safe for any number of concurrent queries; Append is
+// single-writer, exactly like core.Index (wrap in shard.Sharded for
+// concurrent mutation).
 type Index struct {
-	points  []vector.Dense
-	dist    distance.Func[vector.Dense]
-	radius  float64
+	ix      *core.Index[vector.Dense]
 	probes  int
-	cost    core.CostModel
-	tables  *lsh.Tables[vector.Dense]
 	hashers []*lsh.PStableHasher
-	states  sync.Pool
+	states  sync.Pool // *probeState
+}
+
+// probeState is the per-query lookup scratch: the probed-bucket slice
+// and the probe-key buffer. Pooling it keeps the lookup allocation-light
+// in steady state; the decision/search scratch (visited array, HLL merge
+// target) is the wrapped core index's own pool.
+type probeState struct {
+	buckets []*lsh.Bucket
+	keys    []uint64
 }
 
 // New builds the index. It returns an error on invalid configuration.
@@ -83,182 +114,230 @@ func New(points []vector.Dense, cfg Config) (*Index, error) {
 		return nil, fmt.Errorf("multiprobe: Config.K = %d, want >= 1", cfg.K)
 	}
 	if cfg.L == 0 {
-		cfg.L = 10
+		cfg.L = DefaultTables
 	}
 	if cfg.Probes == 0 {
-		cfg.Probes = 10
+		cfg.Probes = DefaultProbes
 	}
 	if cfg.Probes < 0 {
 		return nil, fmt.Errorf("multiprobe: Config.Probes = %d, want >= 0", cfg.Probes)
 	}
-	if cfg.HLLRegisters == 0 {
-		cfg.HLLRegisters = 128
-	}
-	if cfg.Cost == (core.CostModel{}) {
-		cfg.Cost = core.DefaultCostModel
-	}
-	tables, err := lsh.Build(points, cfg.Family, lsh.Params{
+	ix, err := core.NewIndex(points, core.Config[vector.Dense]{
+		Family:       cfg.Family,
+		Distance:     cfg.Distance,
+		Radius:       cfg.Radius,
+		Delta:        cfg.Delta,
 		K:            cfg.K,
 		L:            cfg.L,
 		HLLRegisters: cfg.HLLRegisters,
+		HLLThreshold: cfg.HLLThreshold,
+		Cost:         cfg.Cost,
 		Seed:         cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("multiprobe: %w", err)
 	}
-	ix := &Index{
-		points: points,
-		dist:   cfg.Distance,
-		radius: cfg.Radius,
-		probes: cfg.Probes,
-		cost:   cfg.Cost,
-		tables: tables,
-	}
-	ix.hashers = make([]*lsh.PStableHasher, cfg.L)
-	for j := 0; j < cfg.L; j++ {
-		h, ok := tables.Table(j).Hasher.(*lsh.PStableHasher)
-		if !ok {
-			return nil, fmt.Errorf("multiprobe: table %d hasher is %T, want *lsh.PStableHasher", j, tables.Table(j).Hasher)
-		}
-		ix.hashers[j] = h
-	}
-	n := len(points)
-	m := cfg.HLLRegisters
-	ix.states.New = func() any {
-		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
-	}
-	return ix, nil
+	return FromCore(ix, cfg.Probes)
 }
 
-type queryState struct {
-	visited []uint32
-	gen     uint32
-	sketch  *hll.Sketch
+// FromCore wraps an existing core index (typically a restored snapshot)
+// as a multi-probe index with T = probes. Every table's hasher must be a
+// p-stable hasher — the probing scheme perturbs p-stable slot indices.
+// The core index is used as-is: a wrapped snapshot answers id-for-id
+// identically to the index that was saved.
+func FromCore(ix *core.Index[vector.Dense], probes int) (*Index, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("multiprobe: FromCore with nil index")
+	}
+	if probes < 1 {
+		return nil, fmt.Errorf("multiprobe: FromCore probes = %d, want >= 1", probes)
+	}
+	hashers := make([]*lsh.PStableHasher, ix.L())
+	for j := range hashers {
+		h, ok := ix.Tables().Table(j).Hasher.(*lsh.PStableHasher)
+		if !ok {
+			return nil, fmt.Errorf("multiprobe: table %d hasher is %T, want *lsh.PStableHasher", j, ix.Tables().Table(j).Hasher)
+		}
+		hashers[j] = h
+	}
+	mp := &Index{ix: ix, probes: probes, hashers: hashers}
+	mp.states.New = func() any { return &probeState{} }
+	return mp, nil
 }
+
+// Core exposes the wrapped plain index (read-only by convention). It
+// exists for serialization and white-box tests.
+func (ix *Index) Core() *core.Index[vector.Dense] { return ix.ix }
 
 // N returns the number of indexed points.
-func (ix *Index) N() int { return len(ix.points) }
+func (ix *Index) N() int { return ix.ix.N() }
 
-// Probes returns T, the extra probes per table.
+// Points exposes the stored point slice (read-only); it exists for
+// serialization and the shard layer's compaction absorption.
+func (ix *Index) Points() []vector.Dense { return ix.ix.Points() }
+
+// Radius returns the reporting radius the index was built for.
+func (ix *Index) Radius() float64 { return ix.ix.Radius() }
+
+// K returns the concatenation length in use.
+func (ix *Index) K() int { return ix.ix.K() }
+
+// L returns the number of hash tables.
+func (ix *Index) L() int { return ix.ix.L() }
+
+// Probes returns T, the configured extra probes per table.
 func (ix *Index) Probes() int { return ix.probes }
 
-// Lookup returns the home and probe buckets of q across all tables.
-func (ix *Index) Lookup(q vector.Dense) []*lsh.Bucket {
-	var out []*lsh.Bucket
+// Cost returns the cost model in use.
+func (ix *Index) Cost() core.CostModel { return ix.ix.Cost() }
+
+// resolve maps a per-call probe override to the effective T (t < 0
+// means the configured default).
+func (ix *Index) resolve(t int) int {
+	if t < 0 {
+		return ix.probes
+	}
+	return t
+}
+
+// lookupInto collects the home and probe buckets of q across all tables
+// into st's pooled scratch. The result aliases st.buckets and must not
+// be retained past the state's release.
+func (ix *Index) lookupInto(q vector.Dense, t int, st *probeState) []*lsh.Bucket {
+	out := st.buckets[:0]
+	tables := ix.ix.Tables()
 	for j, h := range ix.hashers {
-		keys := ProbeKeys(h, q, ix.probes)
-		buckets := ix.tables.Table(j).Buckets
-		for _, key := range keys {
+		st.keys = ProbeKeysInto(h, q, t, st.keys[:0])
+		buckets := tables.Table(j).Buckets
+		for _, key := range st.keys {
 			if b := buckets[key]; b != nil {
 				out = append(out, b)
 			}
 		}
 	}
+	st.buckets = out
 	return out
+}
+
+// Lookup returns the home and probe buckets of q across all tables.
+func (ix *Index) Lookup(q vector.Dense) []*lsh.Bucket {
+	return ix.lookupInto(q, ix.probes, &probeState{})
 }
 
 // Query answers one rNNR query with the hybrid strategy over the
 // multi-probe bucket set: Algorithm 2 with #collisions and candSize taken
 // over the (T+1)·L probed buckets.
 func (ix *Index) Query(q vector.Dense) ([]int32, core.QueryStats) {
-	st := ix.states.Get().(*queryState)
+	return ix.QueryProbes(q, -1)
+}
+
+// QueryProbes is Query with a per-call probe override: t extra buckets
+// are probed per table instead of the configured T (t = 0 probes only
+// the home buckets; t < 0 means the configured default). It implements
+// core.ProbeQuerier.
+func (ix *Index) QueryProbes(q vector.Dense, t int) ([]int32, core.QueryStats) {
+	st := ix.states.Get().(*probeState)
 	defer ix.states.Put(st)
 
-	var stats core.QueryStats
 	t0 := time.Now()
-	buckets := ix.Lookup(q)
-	stats.Collisions = lsh.Collisions(buckets)
-	stats.LinearCost = ix.cost.LinearCost(len(ix.points))
-	if upper := ix.cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
-		stats.Strategy = core.StrategyLSH
-		stats.EstCandidates = float64(stats.Collisions)
-		stats.LSHCost = upper
-	} else if lower := ix.cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
-		stats.Strategy = core.StrategyLinear
-		stats.EstCandidates = float64(stats.Collisions)
-		stats.LSHCost = lower
-	} else {
-		stats.Estimated = true
-		stats.EstCandidates = ix.tables.EstimateCandidates(buckets, st.sketch)
-		stats.LSHCost = ix.cost.LSHCost(stats.Collisions, stats.EstCandidates)
-		if stats.LSHCost < stats.LinearCost {
-			stats.Strategy = core.StrategyLSH
-		} else {
-			stats.Strategy = core.StrategyLinear
-		}
-	}
-	stats.EstimateTime = time.Since(t0)
-
-	t1 := time.Now()
-	var out []int32
-	if stats.Strategy == core.StrategyLSH {
-		out = ix.searchBuckets(q, buckets, st, &stats)
-	} else {
-		out = ix.searchLinear(q, &stats)
-	}
-	stats.SearchTime = time.Since(t1)
+	buckets := ix.lookupInto(q, ix.resolve(t), st)
+	lookup := time.Since(t0)
+	out, stats := ix.ix.QueryBuckets(q, buckets)
+	stats.EstimateTime += lookup
 	return out, stats
 }
 
 // QueryLSH forces multi-probe LSH search without the hybrid decision.
 func (ix *Index) QueryLSH(q vector.Dense) ([]int32, core.QueryStats) {
-	st := ix.states.Get().(*queryState)
+	return ix.QueryLSHProbes(q, -1)
+}
+
+// QueryLSHProbes is QueryLSH with a per-call probe override (see
+// QueryProbes for the override semantics).
+func (ix *Index) QueryLSHProbes(q vector.Dense, t int) ([]int32, core.QueryStats) {
+	st := ix.states.Get().(*probeState)
 	defer ix.states.Put(st)
-	var stats core.QueryStats
-	stats.Strategy = core.StrategyLSH
+
 	t0 := time.Now()
-	buckets := ix.Lookup(q)
-	stats.Collisions = lsh.Collisions(buckets)
-	out := ix.searchBuckets(q, buckets, st, &stats)
-	stats.SearchTime = time.Since(t0)
+	buckets := ix.lookupInto(q, ix.resolve(t), st)
+	lookup := time.Since(t0)
+	out, stats := ix.ix.QueryBucketsLSH(q, buckets)
+	stats.EstimateTime += lookup
 	return out, stats
 }
 
 // QueryLinear forces the exact linear scan.
 func (ix *Index) QueryLinear(q vector.Dense) ([]int32, core.QueryStats) {
-	var stats core.QueryStats
-	stats.Strategy = core.StrategyLinear
+	return ix.ix.QueryLinear(q)
+}
+
+// DecideStrategy runs only the estimation steps over the multi-probe
+// bucket set and returns the decision without searching.
+func (ix *Index) DecideStrategy(q vector.Dense) (core.Strategy, core.QueryStats) {
+	return ix.DecideStrategyProbes(q, -1)
+}
+
+// DecideStrategyProbes is DecideStrategy with a per-call probe override
+// (see QueryProbes for the override semantics).
+func (ix *Index) DecideStrategyProbes(q vector.Dense, t int) (core.Strategy, core.QueryStats) {
+	st := ix.states.Get().(*probeState)
+	defer ix.states.Put(st)
+
 	t0 := time.Now()
-	out := ix.searchLinear(q, &stats)
-	stats.SearchTime = time.Since(t0)
-	return out, stats
+	buckets := ix.lookupInto(q, ix.resolve(t), st)
+	lookup := time.Since(t0)
+	strategy, stats := ix.ix.DecideBuckets(buckets)
+	stats.EstimateTime += lookup
+	return strategy, stats
 }
 
-func (ix *Index) searchBuckets(q vector.Dense, buckets []*lsh.Bucket, st *queryState, stats *core.QueryStats) []int32 {
-	st.gen++
-	if st.gen == 0 {
-		clear(st.visited)
-		st.gen = 1
+// QueryBatch answers many queries concurrently, using up to workers
+// goroutines (0 means GOMAXPROCS). Results are positionally aligned with
+// queries.
+func (ix *Index) QueryBatch(queries []vector.Dense, workers int) []core.BatchResult {
+	if len(queries) == 0 {
+		return nil
 	}
-	gen := st.gen
-	var out []int32
-	for _, b := range buckets {
-		for _, id := range b.IDs {
-			if st.visited[id] == gen {
-				continue
-			}
-			st.visited[id] = gen
-			stats.Candidates++
-			if ix.dist(ix.points[id], q) <= ix.radius {
-				out = append(out, id)
-			}
-		}
-	}
-	stats.Results = len(out)
-	return out
+	results := make([]core.BatchResult, len(queries))
+	core.ForEach(len(queries), workers, func(i int) {
+		ids, stats := ix.Query(queries[i])
+		results[i] = core.BatchResult{IDs: ids, Stats: stats}
+	})
+	return results
 }
 
-func (ix *Index) searchLinear(q vector.Dense, stats *core.QueryStats) []int32 {
-	var out []int32
-	for i := range ix.points {
-		if ix.dist(ix.points[i], q) <= ix.radius {
-			out = append(out, int32(i))
-		}
-	}
-	stats.Candidates = len(ix.points)
-	stats.Results = len(out)
-	return out
+// Append adds points to the index, assigning ids from the current N
+// upward; probe sequences are unaffected (they depend only on the drawn
+// hash functions). Like core.Index.Append it is single-writer: it must
+// not run concurrently with queries or another Append.
+func (ix *Index) Append(points []vector.Dense) error {
+	return ix.ix.Append(points)
 }
+
+// Compact returns a new multi-probe index without the points marked
+// dead, with the same probe configuration: the wrapped core index is
+// compacted (hash functions kept, survivors rank-renumbered, sketches
+// rebuilt from live ids — see core.Index.Compact), so probe sequences
+// are preserved exactly and answers are the receiver's answers minus the
+// dead points. The receiver stays fully usable.
+func (ix *Index) Compact(dead []bool) (*Index, error) {
+	nix, err := ix.ix.Compact(dead)
+	if err != nil {
+		return nil, err
+	}
+	return FromCore(nix, ix.probes)
+}
+
+// CompactStore implements core.Store by delegating to Compact.
+func (ix *Index) CompactStore(dead []bool) (core.Store[vector.Dense], error) {
+	return ix.Compact(dead)
+}
+
+// Compile-time checks: the shard layer's contracts.
+var (
+	_ core.Store[vector.Dense]        = (*Index)(nil)
+	_ core.ProbeQuerier[vector.Dense] = (*Index)(nil)
+)
 
 // --- perturbation-sequence generation (Lv et al., Section 4.3) ---
 
@@ -290,12 +369,18 @@ func (h *setHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; 
 // cost, generated with the shift/expand enumeration over the 2k single
 // perturbations.
 func ProbeKeys(h *lsh.PStableHasher, q vector.Dense, t int) []uint64 {
+	return ProbeKeysInto(h, q, t, nil)
+}
+
+// ProbeKeysInto is ProbeKeys appending into dst (which may be nil); it
+// exists so query loops can reuse a pooled key buffer.
+func ProbeKeysInto(h *lsh.PStableHasher, q vector.Dense, t int, dst []uint64) []uint64 {
 	parts, resid := h.PartsAndResiduals(q)
-	keys := make([]uint64, 0, t+1)
-	keys = append(keys, lsh.KeyFromParts(parts))
+	keys := append(dst, lsh.KeyFromParts(parts))
 	if t == 0 {
 		return keys
 	}
+	home := len(keys) - 1
 
 	w := h.W()
 	k := len(parts)
@@ -315,7 +400,7 @@ func ProbeKeys(h *lsh.PStableHasher, q vector.Dense, t int) []uint64 {
 	var hp setHeap
 	heap.Push(&hp, probeSet{idx: []int{0}, cost: perts[0].cost})
 	scratch := make([]int64, k)
-	for len(keys) < t+1 && hp.Len() > 0 {
+	for len(keys) < home+t+1 && hp.Len() > 0 {
 		s := heap.Pop(&hp).(probeSet)
 		top := s.idx[len(s.idx)-1]
 		// Shift: replace the maximum element with its successor.

@@ -1,0 +1,229 @@
+package multiprobe
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/lsh"
+	"repro/internal/vector"
+)
+
+// The shard.Builder / compaction contracts: Append, Compact and the
+// pooled query state added when the package was promoted to a serving
+// mode.
+
+func TestFromCoreValidation(t *testing.T) {
+	data, _ := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	ix, err := core.NewIndex(data, core.Config[vector.Dense]{
+		Family: fam, Distance: distance.L2, Radius: 0.45, K: 8, L: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromCore(nil, 5); err == nil {
+		t.Error("nil index accepted")
+	}
+	if _, err := FromCore(ix, 0); err == nil {
+		t.Error("probes = 0 accepted")
+	}
+	mp, err := FromCore(ix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Probes() != 5 || mp.Core() != ix {
+		t.Fatalf("FromCore wrapped T=%d core=%p, want 5/%p", mp.Probes(), mp.Core(), ix)
+	}
+
+	// A non-p-stable core must be rejected: the probing scheme perturbs
+	// p-stable slot indices.
+	bits := make([]vector.Binary, 8)
+	for i := range bits {
+		bits[i] = vector.NewBinary(32)
+		bits[i].SetBit(i, true)
+	}
+	_, err = core.NewIndex(bits, core.Config[vector.Binary]{
+		Family: lsh.NewBitSampling(32), Distance: distance.Hamming, Radius: 2, K: 4, L: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Type system already prevents FromCore on a binary index; the
+	// runtime check matters for a dense index with non-p-stable hashers,
+	// e.g. cross-polytope.)
+	cp, err := core.NewIndex(data, core.Config[vector.Dense]{
+		Family: lsh.NewCrossPolytope(dataset.CorelDim, 3), Distance: distance.AngularDense,
+		Radius: 0.2, K: 1, L: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromCore(cp, 5); err == nil {
+		t.Error("cross-polytope core accepted")
+	}
+}
+
+func TestAppendThenQuery(t *testing.T) {
+	data, queries := corelData(t)
+	half := len(data) / 2
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	cfg := testConfig(fam)
+
+	grown, err := New(data[:half:half], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grown.Append(data[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if grown.N() != len(data) {
+		t.Fatalf("N() = %d after append, want %d", grown.N(), len(data))
+	}
+	// Same seed, same families: the incremental index must answer the
+	// whole-build index's answers id-for-id (appends hash with the same
+	// drawn functions).
+	whole, err := New(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		a, _ := grown.QueryLSH(q)
+		b, _ := whole.QueryLSH(q)
+		slices.Sort(a)
+		slices.Sort(b)
+		if !slices.Equal(a, b) {
+			t.Fatalf("query %d: grown %v != whole %v", qi, a, b)
+		}
+	}
+}
+
+func TestCompactPreservesAnswersMinusDead(t *testing.T) {
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	ix, err := New(data, testConfig(fam))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := make([]bool, len(data))
+	remap := make([]int32, len(data))
+	live := int32(0)
+	for i := range dead {
+		if i%4 == 0 {
+			dead[i] = true
+			remap[i] = -1
+			continue
+		}
+		remap[i] = live
+		live++
+	}
+	st, err := ix.CompactStore(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cix, ok := st.(*Index)
+	if !ok {
+		t.Fatalf("CompactStore returned %T, want *Index", st)
+	}
+	if cix.N() != int(live) || cix.Probes() != ix.Probes() {
+		t.Fatalf("compacted N/T = %d/%d, want %d/%d", cix.N(), cix.Probes(), live, ix.Probes())
+	}
+	for qi, q := range queries {
+		pre, _ := ix.QueryLSH(q)
+		post, _ := cix.QueryLSH(q)
+		want := make([]int32, 0, len(pre))
+		for _, id := range pre {
+			if !dead[id] {
+				want = append(want, remap[id])
+			}
+		}
+		slices.Sort(want)
+		slices.Sort(post)
+		if !slices.Equal(post, want) {
+			t.Fatalf("query %d: compacted %v, want %v", qi, post, want)
+		}
+	}
+}
+
+func TestQueryProbesOverride(t *testing.T) {
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	cfg := testConfig(fam)
+	ix, err := New(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := cfg
+	alt.Probes = 30
+	wide, err := New(data, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		// Override up: must equal the natively-T=30 index (same seed).
+		a, _ := ix.QueryLSHProbes(q, 30)
+		b, _ := wide.QueryLSH(q)
+		slices.Sort(a)
+		slices.Sort(b)
+		if !slices.Equal(a, b) {
+			t.Fatalf("query %d: T=30 override %v != native T=30 %v", qi, a, b)
+		}
+		// t < 0 restores the default.
+		c, _ := ix.QueryLSHProbes(q, -1)
+		d, _ := ix.QueryLSH(q)
+		slices.Sort(c)
+		slices.Sort(d)
+		if !slices.Equal(c, d) {
+			t.Fatalf("query %d: t=-1 %v != default %v", qi, c, d)
+		}
+	}
+	// Probe counts must actually change the probed set size.
+	_, s0 := ix.QueryLSHProbes(queries[0], 0)
+	_, s30 := ix.QueryLSHProbes(queries[0], 30)
+	if s30.Collisions < s0.Collisions {
+		t.Fatalf("T=30 collisions %d < T=0 collisions %d", s30.Collisions, s0.Collisions)
+	}
+}
+
+func TestDecideStrategyMatchesQuery(t *testing.T) {
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	ix, err := New(data, testConfig(fam))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		strat, ds := ix.DecideStrategy(q)
+		_, qs := ix.Query(q)
+		if strat != qs.Strategy {
+			t.Fatalf("query %d: DecideStrategy %v, Query %v", qi, strat, qs.Strategy)
+		}
+		if ds.Collisions != qs.Collisions {
+			t.Fatalf("query %d: decide collisions %d, query %d", qi, ds.Collisions, qs.Collisions)
+		}
+	}
+}
+
+func TestQueryBatchAlignment(t *testing.T) {
+	data, queries := corelData(t)
+	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
+	ix, err := New(data, testConfig(fam))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := ix.QueryBatch(queries, 3)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results {
+		want, _ := ix.Query(queries[i])
+		got := append([]int32(nil), r.IDs...)
+		slices.Sort(got)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("batch result %d misaligned", i)
+		}
+	}
+}

@@ -23,6 +23,7 @@ type indexMeta struct {
 	params            lsh.Params
 	w                 float64   // p-stable slot width (l1/l2 only)
 	curve             []float64 // cross-polytope calibrated curve (angular only)
+	probes            int       // multi-probe T from the optional "prob" section (0 = plain)
 }
 
 // codec binds one metric identifier to its point type P: the distance

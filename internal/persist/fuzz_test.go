@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/multiprobe"
 	"repro/internal/shard"
 	"repro/internal/vector"
 )
@@ -44,6 +45,9 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		if ix, _, err := ReadIndex[vector.Sparse](bytes.NewReader(data), MetricCosine); err == nil {
 			ix.Query(vector.Sparse{Dim: 1})
+		}
+		if ix, meta, err := ReadMultiProbe(bytes.NewReader(data), MetricL2); err == nil {
+			ix.Query(make(vector.Dense, meta.Dim))
 		}
 		if sh, meta, err := ReadSharded[vector.Dense](bytes.NewReader(data), MetricL2); err == nil {
 			sh.Query(make(vector.Dense, meta.Dim))
@@ -140,8 +144,17 @@ func seedCorpus(f *testing.F) {
 			add(buf.Bytes())
 		}
 	}
+	// Multi-probe L2 (exercises the optional "prob" section).
+	if ix, err := core.NewIndex(denseData(24, 4, 6), mkCfg()); err == nil {
+		if mp, err := multiprobe.FromCore(ix, 7); err == nil {
+			var buf bytes.Buffer
+			if _, err := WriteMultiProbe(&buf, MetricL2, mp); err == nil {
+				add(buf.Bytes())
+			}
+		}
+	}
 	// Sharded L2 with tombstones (exercises smet/tomb/sids paths).
-	sh, err := shard.New(denseData(24, 4, 4), 3, 5, func(pts []vector.Dense, seed uint64) (*core.Index[vector.Dense], error) {
+	sh, err := shard.New(denseData(24, 4, 4), 3, 5, func(pts []vector.Dense, seed uint64) (core.Store[vector.Dense], error) {
 		c := mkCfg()
 		c.Seed = seed
 		return core.NewIndex(pts, c)
@@ -150,6 +163,23 @@ func seedCorpus(f *testing.F) {
 		sh.Delete([]int32{1, 5, 9})
 		var buf bytes.Buffer
 		if _, err := WriteSharded(&buf, MetricL2, sh); err == nil {
+			add(buf.Bytes())
+		}
+	}
+	// Sharded multi-probe L2 (structure-level "prob" section).
+	shmp, err := shard.New(denseData(24, 4, 7), 2, 9, func(pts []vector.Dense, seed uint64) (core.Store[vector.Dense], error) {
+		c := mkCfg()
+		c.Seed = seed
+		ix, err := core.NewIndex(pts, c)
+		if err != nil {
+			return nil, err
+		}
+		return multiprobe.FromCore(ix, 5)
+	})
+	if err == nil {
+		shmp.Delete([]int32{2, 6})
+		var buf bytes.Buffer
+		if _, err := WriteSharded(&buf, MetricL2, shmp); err == nil {
 			add(buf.Bytes())
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/hll"
 	"repro/internal/lsh"
+	"repro/internal/multiprobe"
+	"repro/internal/vector"
 )
 
 // WriteIndex writes a complete snapshot of ix under the given metric
@@ -15,6 +17,21 @@ import (
 // deterministic: equal indexes (same points, same drawn hash functions)
 // serialize to equal bytes. The index must not be mutated concurrently.
 func WriteIndex[P any](w io.Writer, metric string, ix *core.Index[P]) (int64, error) {
+	return writeIndexSnapshot(w, metric, ix, 0)
+}
+
+// WriteMultiProbe writes a snapshot of a multi-probe index: the wrapped
+// plain index's sections plus the "prob" section recording T, so a
+// reload reconstructs identical probe sequences. metric must be one of
+// the dense p-stable metrics (l1, l2).
+func WriteMultiProbe(w io.Writer, metric string, ix *multiprobe.Index) (int64, error) {
+	return writeIndexSnapshot(w, metric, ix.Core(), ix.Probes())
+}
+
+// writeIndexSnapshot is the shared kind-1 writer; probes > 0 adds the
+// "prob" section after "meta" (plain snapshots are byte-identical to
+// the probe-less format).
+func writeIndexSnapshot[P any](w io.Writer, metric string, ix *core.Index[P], probes int) (int64, error) {
 	c, err := codecFor[P](metric)
 	if err != nil {
 		return 0, err
@@ -23,7 +40,7 @@ func WriteIndex[P any](w io.Writer, metric string, ix *core.Index[P]) (int64, er
 	if err := writeHeader(cw, kindIndex); err != nil {
 		return cw.n, err
 	}
-	if err := writeIndexBody(cw, c, ix, ix.Points()); err != nil {
+	if err := writeIndexParts(cw, c, ix, ix.Points(), nil, probes); err != nil {
 		return cw.n, err
 	}
 	if err := writeSection(cw, "end!", nil); err != nil {
@@ -35,27 +52,60 @@ func WriteIndex[P any](w io.Writer, metric string, ix *core.Index[P]) (int64, er
 // ReadIndex reads a plain-index snapshot, requiring it to hold the
 // given metric, and reassembles the index without rebuilding. The
 // returned index answers queries id-for-id identically to the one that
-// was saved.
+// was saved. Multi-probe snapshots are rejected (use ReadMultiProbe so
+// the probe configuration is not silently dropped).
 func ReadIndex[P any](r io.Reader, metric string) (*core.Index[P], Meta, error) {
-	c, err := codecFor[P](metric)
+	ix, m, err := readIndexSnapshot[P](r, metric)
 	if err != nil {
 		return nil, Meta{}, err
 	}
-	kind, err := readHeader(r)
-	if err != nil {
-		return nil, Meta{}, err
-	}
-	if kind != kindIndex {
-		return nil, Meta{}, corrupt("snapshot holds a sharded index; use the sharded reader")
-	}
-	ix, m, err := readIndexBody(r, c)
-	if err != nil {
-		return nil, Meta{}, err
-	}
-	if _, err := readSection(r, "end!"); err != nil {
-		return nil, Meta{}, err
+	if m.probes != 0 {
+		return nil, Meta{}, fmt.Errorf("%w: snapshot holds a multi-probe index (T=%d); use the multi-probe reader", ErrProbeMode, m.probes)
 	}
 	return ix, publicMeta(m, 0), nil
+}
+
+// ReadMultiProbe reads a multi-probe index snapshot written by
+// WriteMultiProbe; the restored index probes identical bucket sequences
+// and answers queries id-for-id identically to the saved one. Plain
+// snapshots are rejected (they record no probe configuration).
+func ReadMultiProbe(r io.Reader, metric string) (*multiprobe.Index, Meta, error) {
+	ix, m, err := readIndexSnapshot[vector.Dense](r, metric)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if m.probes == 0 {
+		return nil, Meta{}, fmt.Errorf("%w: snapshot holds a plain index; use the plain reader", ErrProbeMode)
+	}
+	mp, err := multiprobe.FromCore(ix, m.probes)
+	if err != nil {
+		return nil, Meta{}, corrupt("restoring multi-probe index: %v", err)
+	}
+	return mp, publicMeta(m, 0), nil
+}
+
+// readIndexSnapshot is the shared kind-1 reader.
+func readIndexSnapshot[P any](r io.Reader, metric string) (*core.Index[P], *indexMeta, error) {
+	c, err := codecFor[P](metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss := &sectionStream{r: r}
+	kind, err := readHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != kindIndex {
+		return nil, nil, corrupt("snapshot holds a sharded index; use the sharded reader")
+	}
+	ix, m, err := readIndexBody(ss, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := ss.read("end!"); err != nil {
+		return nil, nil, err
+	}
+	return ix, m, nil
 }
 
 // publicMeta converts the wire meta to the exported summary.
@@ -69,22 +119,18 @@ func publicMeta(m *indexMeta, shards int) Meta {
 		K:      m.params.K,
 		L:      m.params.L,
 		Shards: shards,
+		Probes: m.probes,
 		Seed:   m.params.Seed,
 	}
 }
 
-// writeIndexBody writes the "meta", "pnts" and L "tabl" sections of one
-// index. points is passed separately so the sharded writer can
-// substitute a compacted point set (with bucketOverride supplying the
-// matching compacted tables).
-func writeIndexBody[P any](w io.Writer, c *codec[P], ix *core.Index[P], points []P) error {
-	return writeIndexParts(w, c, ix, points, nil)
-}
-
-// writeIndexParts is writeIndexBody with an optional bucket override:
-// when buckets is non-nil, buckets[j] replaces table j's bucket map
-// (the compaction path). The hashers always come from the live index.
-func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points []P, buckets []map[uint64]*lsh.Bucket) error {
+// writeIndexParts writes the "meta", optional "prob", "pnts" and L
+// "tabl" sections of one index. points is passed separately so the
+// sharded writer can substitute a compacted point set (with buckets
+// supplying the matching compacted tables: when buckets is non-nil,
+// buckets[j] replaces table j's bucket map). The hashers always come
+// from the live index.
+func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points []P, buckets []map[uint64]*lsh.Bucket, probes int) error {
 	fam := ix.Family()
 	if fam == nil {
 		return fmt.Errorf("persist: index has no family (built before persistence support?)")
@@ -119,6 +165,15 @@ func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points 
 		return err
 	}
 
+	if probes > 0 {
+		if probes > maxProbes {
+			return fmt.Errorf("persist: probe count %d exceeds the format cap %d", probes, maxProbes)
+		}
+		if err := writeProbeSection(w, probes); err != nil {
+			return err
+		}
+	}
+
 	e = enc{}
 	if err := c.writePoints(&e, m, points); err != nil {
 		return err
@@ -147,10 +202,12 @@ func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points 
 	return nil
 }
 
-// readIndexBody reads the "meta", "pnts" and L "tabl" sections and
-// reassembles the index.
-func readIndexBody[P any](r io.Reader, c *codec[P]) (*core.Index[P], *indexMeta, error) {
-	payload, err := readSection(r, "meta")
+// readIndexBody reads the "meta", optional "prob", "pnts" and L "tabl"
+// sections and reassembles the index; a present "prob" section is
+// recorded in the returned meta's probes field for the caller to act
+// on.
+func readIndexBody[P any](ss *sectionStream, c *codec[P]) (*core.Index[P], *indexMeta, error) {
+	payload, err := ss.read("meta")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -159,7 +216,11 @@ func readIndexBody[P any](r io.Reader, c *codec[P]) (*core.Index[P], *indexMeta,
 		return nil, nil, err
 	}
 
-	payload, err = readSection(r, "pnts")
+	if m.probes, err = ss.readProbeSection(); err != nil {
+		return nil, nil, err
+	}
+
+	payload, err = ss.read("pnts")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,7 +235,7 @@ func readIndexBody[P any](r io.Reader, c *codec[P]) (*core.Index[P], *indexMeta,
 
 	tables := make([]lsh.Table[P], m.params.L)
 	for j := range tables {
-		payload, err = readSection(r, "tabl")
+		payload, err = ss.read("tabl")
 		if err != nil {
 			return nil, nil, err
 		}

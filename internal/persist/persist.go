@@ -23,6 +23,9 @@
 //	"meta"            metric, dim, n, radius, δ, p₁, cost model, (k, L,
 //	                  m, HLL threshold, seed), family extras (p-stable
 //	                  slot width; cross-polytope calibrated curve)
+//	["prob"]          optional: the multi-probe configuration T (u32 in
+//	                  [1, maxProbes]); present iff the snapshot holds a
+//	                  multi-probe index
 //	"pnts"            the points (dense: n×dim f32; sparse: per point
 //	                  nnz + sorted idx/val pairs; binary: bit-packed
 //	                  words)
@@ -39,23 +42,33 @@
 //	"tomb"            sorted tombstoned ids (kept so the id space's
 //	                  holes survive the reload; the points themselves
 //	                  are compacted out of the shards)
+//	["prob"]          optional: the probe configuration T shared by all
+//	                  shards (multi-probe sharded indexes only)
 //	("sids" + plain-index sections) × S
 //	"end!"            empty terminator
 //
 // where each shard's "sids" section holds its local→global id map and
 // is followed by the shard's own "meta"/"pnts"/"tabl" sections
-// (per-shard seeds and hash functions are preserved exactly).
+// (per-shard seeds and hash functions are preserved exactly; a
+// per-shard "prob" section is invalid — the probe config is structure
+// level).
+//
+// docs/SNAPSHOT_FORMAT.md is the normative byte-level specification of
+// everything above.
 //
 // # Compatibility promise
 //
 // Readers accept exactly the version they were built for; any layout
 // change must bump the version constant, and the golden-snapshot test
 // in this package fails if today's writer drifts from the checked-in
-// v1 bytes. The decoder is hardened against corrupt, truncated and
-// adversarial input: every section is CRC-checked, every count is
-// validated against the bytes actually present before allocation, and
-// every id is range-checked, so malformed input yields an error — never
-// a panic or an unbounded allocation (see FuzzReadSnapshot).
+// v1 bytes. The optional "prob" section is the one sanctioned in-v1
+// extension: it is purely additive, so every probe-less v1 file is
+// byte-identical to the original layout and loads unchanged. The
+// decoder is hardened against corrupt, truncated and adversarial
+// input: every section is CRC-checked, every count is validated
+// against the bytes actually present before allocation, and every id
+// is range-checked, so malformed input yields an error — never a panic
+// or an unbounded allocation (see FuzzReadSnapshot).
 package persist
 
 import (
@@ -97,6 +110,7 @@ const (
 	maxK          = 1 << 16
 	maxShards     = 1 << 16
 	maxCurve      = 1 << 16
+	maxProbes     = 1 << 20
 )
 
 // Sentinel errors; decode failures wrap one of these.
@@ -109,6 +123,12 @@ var (
 	// ErrMetric marks a snapshot holding a different metric than the
 	// reader asked for.
 	ErrMetric = errors.New("persist: snapshot metric mismatch")
+	// ErrProbeMode marks a snapshot whose probe mode does not match the
+	// reader used: a multi-probe snapshot handed to a plain reader, or a
+	// plain snapshot handed to the multi-probe reader. Neither reader
+	// silently converts — dropping T (or inventing one) would change
+	// answers.
+	ErrProbeMode = errors.New("persist: snapshot probe-mode mismatch")
 	// ErrCorrupt marks structurally invalid input: truncation, CRC
 	// mismatch, impossible counts or out-of-range values.
 	ErrCorrupt = errors.New("persist: corrupt snapshot")
@@ -144,6 +164,9 @@ type Meta struct {
 	K, L int
 	// Shards is the partition count (0 for a plain index).
 	Shards int
+	// Probes is the multi-probe configuration T recorded in the
+	// snapshot's optional "prob" section (0 for a plain hybrid index).
+	Probes int
 	// Seed is the recorded construction seed (the first shard's for a
 	// sharded snapshot).
 	Seed uint64
@@ -200,29 +223,50 @@ func writeSection(w io.Writer, tag string, payload []byte) error {
 	return err
 }
 
-// readSection reads the next section, requires its tag to be wantTag,
-// verifies the CRC and returns the payload. The payload is read
-// incrementally (io.CopyN into a growing buffer), so a truncated file
-// that claims a huge length never causes a huge allocation.
-func readSection(r io.Reader, wantTag string) ([]byte, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, corrupt("truncated section header (%v)", err)
+// sectionStream reads consecutive sections from r, buffering at most
+// one section header so callers can branch on the next tag — that is
+// how optional sections (the multi-probe "prob" section) coexist with
+// the strict fixed-order decoding of everything else.
+type sectionStream struct {
+	r        io.Reader
+	hdr      [12]byte
+	buffered bool
+}
+
+// peek returns the tag of the next section without consuming it.
+func (s *sectionStream) peek() (string, error) {
+	if !s.buffered {
+		if _, err := io.ReadFull(s.r, s.hdr[:]); err != nil {
+			return "", corrupt("truncated section header (%v)", err)
+		}
+		s.buffered = true
 	}
-	tag := string(hdr[:4])
+	return string(s.hdr[:4]), nil
+}
+
+// read reads the next section, requires its tag to be wantTag, verifies
+// the CRC and returns the payload. The payload is read incrementally
+// (io.CopyN into a growing buffer), so a truncated file that claims a
+// huge length never causes a huge allocation.
+func (s *sectionStream) read(wantTag string) ([]byte, error) {
+	tag, err := s.peek()
+	if err != nil {
+		return nil, err
+	}
+	s.buffered = false
 	if tag != wantTag {
 		return nil, corrupt("section %q where %q was expected", tag, wantTag)
 	}
-	n := binary.LittleEndian.Uint64(hdr[4:])
+	n := binary.LittleEndian.Uint64(s.hdr[4:])
 	if n > maxSectionLen {
 		return nil, corrupt("section %q claims %d bytes, cap is %d", tag, n, int64(maxSectionLen))
 	}
 	var buf bytes.Buffer
-	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+	if _, err := io.CopyN(&buf, s.r, int64(n)); err != nil {
 		return nil, corrupt("truncated section %q (%v)", tag, err)
 	}
 	var crc [4]byte
-	if _, err := io.ReadFull(r, crc[:]); err != nil {
+	if _, err := io.ReadFull(s.r, crc[:]); err != nil {
 		return nil, corrupt("truncated section %q checksum (%v)", tag, err)
 	}
 	payload := buf.Bytes()
@@ -230,6 +274,40 @@ func readSection(r io.Reader, wantTag string) ([]byte, error) {
 		return nil, corrupt("section %q checksum mismatch (got %08x, want %08x)", tag, got, want)
 	}
 	return payload, nil
+}
+
+// readProbeSection reads an optional "prob" section at the stream's
+// current position and returns T (0 when the next section is something
+// else). The payload is a single u32 in [1, maxProbes].
+func (s *sectionStream) readProbeSection() (int, error) {
+	tag, err := s.peek()
+	if err != nil {
+		return 0, err
+	}
+	if tag != "prob" {
+		return 0, nil
+	}
+	payload, err := s.read("prob")
+	if err != nil {
+		return 0, err
+	}
+	d := &dec{b: payload}
+	probes := int(d.u32())
+	if err := d.done("prob"); err != nil {
+		return 0, err
+	}
+	if probes < 1 || probes > maxProbes {
+		return 0, corrupt("probe count %d outside [1,%d]", probes, maxProbes)
+	}
+	return probes, nil
+}
+
+// writeProbeSection writes the "prob" section recording the multi-probe
+// configuration T.
+func writeProbeSection(w io.Writer, probes int) error {
+	var e enc
+	e.u32(uint32(probes))
+	return writeSection(w, "prob", e.b)
 }
 
 // ---- payload encoding ----

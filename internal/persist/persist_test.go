@@ -257,7 +257,7 @@ func TestRoundTripAfterAppend(t *testing.T) {
 
 func newShardedL2(t *testing.T, pts []vector.Dense, shards int, seed uint64) *shard.Sharded[vector.Dense] {
 	t.Helper()
-	s, err := shard.New(pts, shards, seed, func(part []vector.Dense, seed uint64) (*core.Index[vector.Dense], error) {
+	s, err := shard.New(pts, shards, seed, func(part []vector.Dense, seed uint64) (core.Store[vector.Dense], error) {
 		c := cfg[vector.Dense](lsh.NewPStableL2(tdim, 0.8), distance.L2, 0.4)
 		c.Seed = seed
 		return core.NewIndex(part, c)

@@ -5,8 +5,11 @@ import (
 	"io"
 	"slices"
 
+	"repro/internal/core"
 	"repro/internal/lsh"
+	"repro/internal/multiprobe"
 	"repro/internal/shard"
+	"repro/internal/vector"
 )
 
 // WriteSharded writes a snapshot of a sharded index and returns the
@@ -16,6 +19,11 @@ import (
 // in the tombstone section so the id space's holes survive the reload,
 // but the points themselves, their bucket entries and their sketch
 // contributions are not serialized.
+//
+// Multi-probe shards are handled transparently: the shared probe
+// configuration T is recorded once in the structure-level "prob"
+// section and each shard's wrapped plain index is serialized as usual,
+// so a reload probes identical bucket sequences.
 func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64, error) {
 	c, err := codecFor[P](metric)
 	if err != nil {
@@ -23,6 +31,20 @@ func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64
 	}
 	cw := &countWriter{w: w}
 	err = s.Snapshot(func(shards []shard.ShardSnapshot[P], nextID int32, tombstones []int32) error {
+		probes := 0
+		cores := make([]*core.Index[P], len(shards))
+		for j, sv := range shards {
+			ix, p, err := splitStore(sv.Index)
+			if err != nil {
+				return fmt.Errorf("persist: shard %d: %w", j, err)
+			}
+			if j == 0 {
+				probes = p
+			} else if p != probes {
+				return fmt.Errorf("persist: shard %d has probe config %d, shard 0 has %d", j, p, probes)
+			}
+			cores[j] = ix
+		}
 		if err := writeHeader(cw, kindSharded); err != nil {
 			return err
 		}
@@ -41,12 +63,20 @@ func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64
 		if err := writeSection(cw, "tomb", e.b); err != nil {
 			return err
 		}
+		if probes > 0 {
+			if probes > maxProbes {
+				return fmt.Errorf("persist: probe count %d exceeds the format cap %d", probes, maxProbes)
+			}
+			if err := writeProbeSection(cw, probes); err != nil {
+				return err
+			}
+		}
 		tombs := make(map[int32]struct{}, len(tombstones))
 		for _, id := range tombstones {
 			tombs[id] = struct{}{}
 		}
-		for _, sv := range shards {
-			points, ids, buckets, err := compactShard(sv, tombs)
+		for j, sv := range shards {
+			points, ids, buckets, err := compactShard(cores[j], sv.IDs, tombs)
 			if err != nil {
 				return err
 			}
@@ -58,13 +88,50 @@ func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64
 			if err := writeSection(cw, "sids", e.b); err != nil {
 				return err
 			}
-			if err := writeIndexParts(cw, c, sv.Index, points, buckets); err != nil {
+			if err := writeIndexParts(cw, c, cores[j], points, buckets, 0); err != nil {
 				return err
 			}
 		}
 		return writeSection(cw, "end!", nil)
 	})
 	return cw.n, err
+}
+
+// splitStore unwraps one shard's store into the plain core index that
+// carries its serializable state plus the multi-probe configuration T
+// (0 for a plain shard).
+func splitStore[P any](st core.Store[P]) (*core.Index[P], int, error) {
+	switch v := any(st).(type) {
+	case *core.Index[P]:
+		return v, 0, nil
+	case *multiprobe.Index:
+		ix, ok := any(v.Core()).(*core.Index[P])
+		if !ok {
+			return nil, 0, fmt.Errorf("multi-probe shard does not store the requested point type")
+		}
+		return ix, v.Probes(), nil
+	default:
+		return nil, 0, fmt.Errorf("unsupported shard index type %T", st)
+	}
+}
+
+// wrapProbes rewraps a restored plain shard index as a multi-probe
+// index with the snapshot's probe configuration; it only succeeds for
+// the dense p-stable metrics.
+func wrapProbes[P any](ix *core.Index[P], probes int) (core.Store[P], error) {
+	dix, ok := any(ix).(*core.Index[vector.Dense])
+	if !ok {
+		return nil, corrupt("probe section on a metric that does not store dense points")
+	}
+	mp, err := multiprobe.FromCore(dix, probes)
+	if err != nil {
+		return nil, corrupt("restoring multi-probe shard: %v", err)
+	}
+	st, ok := any(mp).(core.Store[P])
+	if !ok {
+		return nil, corrupt("restoring multi-probe shard: point type mismatch")
+	}
+	return st, nil
 }
 
 // compactShard filters a shard's tombstoned points out of its view:
@@ -77,10 +144,10 @@ func WriteSharded[P any](w io.Writer, metric string, s *shard.Sharded[P]) (int64
 // and a snapshot of the same index compacted online are byte-identical.
 // When the shard holds no tombstoned point the original (live,
 // read-locked) state is returned without copying.
-func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([]P, []int32, []map[uint64]*lsh.Bucket, error) {
+func compactShard[P any](ix *core.Index[P], gids []int32, tombs map[int32]struct{}) ([]P, []int32, []map[uint64]*lsh.Bucket, error) {
 	dead := false
 	if len(tombs) > 0 {
-		for _, gid := range sv.IDs {
+		for _, gid := range gids {
 			if _, d := tombs[gid]; d {
 				dead = true
 				break
@@ -88,14 +155,14 @@ func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([
 		}
 	}
 	if !dead {
-		return sv.Index.Points(), sv.IDs, nil, nil
+		return ix.Points(), gids, nil, nil
 	}
 
-	all := sv.Index.Points()
+	all := ix.Points()
 	remap := make([]int32, len(all)) // old local id -> new local id, -1 = dropped
 	points := make([]P, 0, len(all))
-	ids := make([]int32, 0, len(sv.IDs))
-	for l, gid := range sv.IDs {
+	ids := make([]int32, 0, len(gids))
+	for l, gid := range gids {
 		if _, d := tombs[gid]; d {
 			remap[l] = -1
 			continue
@@ -105,7 +172,7 @@ func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([
 		ids = append(ids, gid)
 	}
 
-	nt, err := sv.Index.Tables().Compact(remap, len(points))
+	nt, err := ix.Tables().Compact(remap, len(points))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("persist: compacting shard for snapshot: %w", err)
 	}
@@ -120,12 +187,14 @@ func compactShard[P any](sv shard.ShardSnapshot[P], tombs map[int32]struct{}) ([
 // metric, and reassembles the sharded index: per-shard hash functions,
 // buckets and sketches are restored exactly, the global id space keeps
 // its tombstone holes, and appends continue from the saved high-water
-// id mark.
+// id mark. A snapshot carrying a "prob" section comes back as
+// multi-probe shards with the saved T (Meta.Probes reports it).
 func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, error) {
 	c, err := codecFor[P](metric)
 	if err != nil {
 		return nil, Meta{}, err
 	}
+	ss := &sectionStream{r: r}
 	kind, err := readHeader(r)
 	if err != nil {
 		return nil, Meta{}, err
@@ -134,7 +203,7 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 		return nil, Meta{}, corrupt("snapshot holds a plain index; use the plain reader")
 	}
 
-	payload, err := readSection(r, "smet")
+	payload, err := ss.read("smet")
 	if err != nil {
 		return nil, Meta{}, err
 	}
@@ -155,7 +224,7 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 		return nil, Meta{}, corrupt("next id %d negative", nextID)
 	}
 
-	payload, err = readSection(r, "tomb")
+	payload, err = ss.read("tomb")
 	if err != nil {
 		return nil, Meta{}, err
 	}
@@ -175,11 +244,16 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 		return nil, Meta{}, err
 	}
 
+	probes, err := ss.readProbeSection()
+	if err != nil {
+		return nil, Meta{}, err
+	}
+
 	shards := make([]shard.ShardSnapshot[P], nshards)
 	live := 0
 	var first *indexMeta
 	for j := range shards {
-		payload, err = readSection(r, "sids")
+		payload, err = ss.read("sids")
 		if err != nil {
 			return nil, Meta{}, err
 		}
@@ -192,9 +266,12 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 		if err := d.done("sids"); err != nil {
 			return nil, Meta{}, err
 		}
-		ix, m, err := readIndexBody(r, c)
+		ix, m, err := readIndexBody(ss, c)
 		if err != nil {
 			return nil, Meta{}, err
+		}
+		if m.probes != 0 {
+			return nil, Meta{}, corrupt("shard %d carries its own probe section; the probe config is structure-level", j)
 		}
 		if first == nil {
 			first = m
@@ -202,10 +279,16 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 			return nil, Meta{}, corrupt("shard %d has dim %d r %v, shard 0 has dim %d r %v",
 				j, m.dim, m.radius, first.dim, first.radius)
 		}
-		shards[j] = shard.ShardSnapshot[P]{Index: ix, IDs: ids}
+		store := core.Store[P](ix)
+		if probes > 0 {
+			if store, err = wrapProbes(ix, probes); err != nil {
+				return nil, Meta{}, err
+			}
+		}
+		shards[j] = shard.ShardSnapshot[P]{Index: store, IDs: ids}
 		live += len(ids)
 	}
-	if _, err := readSection(r, "end!"); err != nil {
+	if _, err := ss.read("end!"); err != nil {
 		return nil, Meta{}, err
 	}
 	// Canonical invariant: every allocated id is either live in exactly
@@ -230,5 +313,6 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 	}
 	meta := publicMeta(first, nshards)
 	meta.N = live
+	meta.Probes = probes
 	return sh, meta, nil
 }

@@ -1,11 +1,12 @@
 // Package shard partitions a hybrid-LSH index across S independent
-// core.Index shards and serves queries by parallel fan-out with a
+// shards (any core.Store implementation — plain core.Index or
+// multiprobe.Index) and serves queries by parallel fan-out with a
 // result-set merge. It is the concurrency layer of the reproduction:
-// core.Index is single-writer (Append must not run concurrently with
-// queries), whereas Sharded guards every shard with its own
-// sync.RWMutex, so queries proceed on S-1 shards while the S-th absorbs
-// an Append (a concurrent query's fan-out merge still waits for the
-// appending shard), and Delete is a tombstone-set update that never
+// the underlying indexes are single-writer (Append must not run
+// concurrently with queries), whereas Sharded guards every shard with
+// its own sync.RWMutex, so queries proceed on S-1 shards while the S-th
+// absorbs an Append (a concurrent query's fan-out merge still waits for
+// the appending shard), and Delete is a tombstone-set update that never
 // touches the hash tables at all.
 //
 // Points keep the ids they would have in an unsharded index built over
@@ -44,19 +45,21 @@ import (
 	"repro/internal/hashutil"
 )
 
-// Builder constructs the core index of one shard from its point subset.
-// seed is pre-mixed per shard so the S sub-indexes draw independent hash
-// functions; builders should pass it through to core.Config.Seed.
-type Builder[P any] func(points []P, seed uint64) (*core.Index[P], error)
+// Builder constructs one shard's index from its point subset. Any
+// core.Store implementation works — *core.Index for the classic hybrid
+// index, multiprobe.Index for multi-probe shards. seed is pre-mixed per
+// shard so the S sub-indexes draw independent hash functions; builders
+// should pass it through to their index's construction seed.
+type Builder[P any] func(points []P, seed uint64) (core.Store[P], error)
 
-// shardState is one partition: the immutable-under-RLock core index and
+// shardState is one partition: the immutable-under-RLock index and
 // the local→global id map, both guarded by mu. compactMu serializes
 // compactions of this shard (held across the whole rewrite, which spans
 // an RLock phase and a Lock phase of mu) — it is always acquired before
 // mu and never while holding any other lock.
 type shardState[P any] struct {
 	mu        sync.RWMutex
-	ix        *core.Index[P]
+	ix        core.Store[P]
 	ids       []int32 // ids[local] = global id
 	compactMu sync.Mutex
 }
@@ -71,6 +74,12 @@ const DefaultCompactionThreshold = 0.20
 // single shard it grows.
 type Sharded[P any] struct {
 	shards []*shardState[P]
+	// probing records whether every shard implements core.ProbeQuerier.
+	// It is fixed at construction (compaction preserves each shard's
+	// concrete index type); requiring all shards keeps the probe
+	// fan-out's type assertions safe even against a hand-assembled
+	// Restore mixing index kinds.
+	probing bool
 
 	// appendMu serializes appends (target selection + id allocation);
 	// nextID is atomic so readers (N, Delete, Stats) never block behind
@@ -164,17 +173,29 @@ func New[P any](points []P, s int, seed uint64, build Builder[P]) (*Sharded[P], 
 			return nil, err
 		}
 	}
+	sh.setProbing()
 	return sh, nil
+}
+
+// setProbing records whether every shard supports probe overrides.
+func (s *Sharded[P]) setProbing() {
+	for _, st := range s.shards {
+		if _, ok := st.ix.(core.ProbeQuerier[P]); !ok {
+			s.probing = false
+			return
+		}
+	}
+	s.probing = true
 }
 
 // Shards returns the number of partitions.
 func (s *Sharded[P]) Shards() int { return len(s.shards) }
 
 // ShardSnapshot is one shard's state as seen by Snapshot or supplied to
-// Restore: the core index and its local→global id map (IDs[local] is
+// Restore: the shard's index and its local→global id map (IDs[local] is
 // the global id of the shard's local point).
 type ShardSnapshot[P any] struct {
-	Index *core.Index[P]
+	Index core.Store[P]
 	IDs   []int32
 }
 
@@ -267,6 +288,7 @@ func Restore[P any](shards []ShardSnapshot[P], nextID int32, tombstones []int32)
 		sh.shards[j] = &shardState[P]{ix: v.Index, ids: v.IDs}
 	}
 	sh.nextID.Store(nextID)
+	sh.setProbing()
 	return sh, nil
 }
 
@@ -302,6 +324,34 @@ type QueryStats struct {
 // result sets into global ids, drops tombstoned ids and returns the rest
 // (distinct, unordered) with aggregated stats.
 func (s *Sharded[P]) Query(q P) ([]int32, QueryStats) {
+	return s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
+		return ix.Query(q)
+	})
+}
+
+// QueryProbes is Query with a per-shard probe override: every shard
+// answers via core.ProbeQuerier.QueryProbes(q, t) — t extra buckets per
+// table instead of each shard's configured default (t < 0 restores the
+// default). It returns an error when the shards do not support probe
+// overrides (i.e. were not built as multi-probe indexes).
+func (s *Sharded[P]) QueryProbes(q P, t int) ([]int32, QueryStats, error) {
+	if !s.Probing() {
+		return nil, QueryStats{}, fmt.Errorf("shard: QueryProbes on shards without multi-probe support")
+	}
+	ids, stats := s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
+		return ix.(core.ProbeQuerier[P]).QueryProbes(q, t)
+	})
+	return ids, stats, nil
+}
+
+// Probing reports whether the shards support per-query probe overrides
+// (multi-probe shard indexes).
+func (s *Sharded[P]) Probing() bool { return s.probing }
+
+// fanOut runs one per-shard query function across all shards in
+// parallel and merges the results (the shared body of Query and
+// QueryProbes).
+func (s *Sharded[P]) fanOut(q P, run func(ix core.Store[P], q P) ([]int32, core.QueryStats)) ([]int32, QueryStats) {
 	t0 := time.Now()
 	stats := QueryStats{PerShard: make([]core.QueryStats, len(s.shards))}
 	parts := make([][]int32, len(s.shards))
@@ -312,7 +362,7 @@ func (s *Sharded[P]) Query(q P) ([]int32, QueryStats) {
 		go func(j int, st *shardState[P]) {
 			defer wg.Done()
 			st.mu.RLock()
-			local, qs := st.ix.Query(q)
+			local, qs := run(st.ix, q)
 			global := make([]int32, len(local))
 			for i, id := range local {
 				global[i] = st.ids[id]
@@ -405,6 +455,27 @@ func (s *Sharded[P]) QueryBatch(queries []P, workers int) []BatchResult {
 		results[i] = BatchResult{IDs: ids, Stats: qs}
 	})
 	return results
+}
+
+// QueryBatchProbes is QueryBatch with a per-shard probe override applied
+// to every query (see QueryProbes). It returns an error when the shards
+// do not support probe overrides.
+func (s *Sharded[P]) QueryBatchProbes(queries []P, workers, t int) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if !s.Probing() {
+		return nil, fmt.Errorf("shard: QueryBatchProbes on shards without multi-probe support")
+	}
+	if workers <= 0 {
+		workers = s.DefaultBatchWorkers()
+	}
+	results := make([]BatchResult, len(queries))
+	core.ForEach(len(queries), workers, func(i int) {
+		ids, qs, _ := s.QueryProbes(queries[i], t)
+		results[i] = BatchResult{IDs: ids, Stats: qs}
+	})
+	return results, nil
 }
 
 // Append adds points under fresh global ids (returned, assigned from the
@@ -603,7 +674,7 @@ func (s *Sharded[P]) Compact(j int) (int, error) {
 		st.mu.RUnlock()
 		return 0, nil
 	}
-	nix, err := ix0.Compact(dead)
+	nix, err := ix0.CompactStore(dead)
 	st.mu.RUnlock()
 	if err != nil {
 		return 0, err

@@ -40,7 +40,7 @@ func clustered(n, nc, dim int, spread float64, seed uint64) (points []vector.Den
 }
 
 func l2Builder(dim int, radius float64) shard.Builder[vector.Dense] {
-	return func(pts []vector.Dense, seed uint64) (*core.Index[vector.Dense], error) {
+	return func(pts []vector.Dense, seed uint64) (core.Store[vector.Dense], error) {
 		return core.NewIndex(pts, core.Config[vector.Dense]{
 			Family:   lsh.NewPStableL2(dim, 2*radius),
 			Distance: distance.L2,

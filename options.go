@@ -23,6 +23,7 @@ type options struct {
 	slotWidth     float64
 	shards        int
 	compactThresh float64
+	probes        int
 }
 
 // shardCount resolves the shard count for the sharded constructors
@@ -108,6 +109,20 @@ func WithCompactionThreshold(t float64) Option {
 			panic(fmt.Sprintf("hybridlsh: WithCompactionThreshold(%v), want > 0", t))
 		}
 		o.compactThresh = t
+	}
+}
+
+// WithProbes sets T, the number of extra buckets a multi-probe index
+// probes per table beyond the home bucket (NewMultiProbeL2Index,
+// NewShardedMultiProbeL2Index; ignored by the classic constructors).
+// Default 10. Larger T raises recall at fixed (k, L) — the multi-probe
+// trade: fewer tables, more probes per table.
+func WithProbes(t int) Option {
+	return func(o *options) {
+		if t < 1 {
+			panic(fmt.Sprintf("hybridlsh: WithProbes(%d), want >= 1", t))
+		}
+		o.probes = t
 	}
 }
 

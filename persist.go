@@ -1,6 +1,7 @@
 package hybridlsh
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/persist"
@@ -26,10 +27,16 @@ import (
 // agree up to the per-point δ guarantee. With no intervening deletes
 // the sharded round trip is exact as well.
 //
+// Multi-probe snapshots additionally record the probe configuration T
+// (the format's optional "prob" section); the plain and multi-probe
+// readers each reject the other's snapshots rather than silently
+// dropping or inventing T.
+//
 // The decoder rejects corrupt, truncated or adversarial input with an
-// error (persist.ErrBadMagic / ErrVersion / ErrMetric / ErrCorrupt
-// equivalents) rather than panicking; see internal/persist for the
-// format layout and compatibility promise.
+// error (persist.ErrBadMagic / ErrVersion / ErrMetric / ErrProbeMode /
+// ErrCorrupt equivalents) rather than panicking; see internal/persist
+// and docs/SNAPSHOT_FORMAT.md for the format layout and compatibility
+// promise.
 
 // SnapshotFormat names the snapshot wire format the WriteTo methods
 // produce. Readers accept exactly this version; incompatible layout
@@ -129,6 +136,25 @@ func ReadAngularIndex(r io.Reader) (*AngularIndex, error) {
 	return &AngularIndex{ix}, nil
 }
 
+// WriteTo writes a snapshot of the index, including the probe
+// configuration (the snapshot format's optional "prob" section), so a
+// reload probes identical bucket sequences; it implements io.WriterTo.
+// The index must not be appended to concurrently.
+func (ix *MultiProbeL2Index) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteMultiProbe(w, persist.MetricL2, ix.Index)
+}
+
+// ReadMultiProbeL2Index reloads a multi-probe L2 index snapshot written
+// by WriteTo. Plain (probe-less) snapshots are rejected rather than
+// silently assigned a default T.
+func ReadMultiProbeL2Index(r io.Reader) (*MultiProbeL2Index, error) {
+	ix, _, err := persist.ReadMultiProbe(r, persist.MetricL2)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiProbeL2Index{ix}, nil
+}
+
 // WriteTo writes a snapshot of the sharded index; it implements
 // io.WriterTo. It takes a consistent view (appends block for the
 // duration, queries keep flowing) and compacts tombstoned points out of
@@ -138,12 +164,39 @@ func (s *ShardedL2Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadShardedL2Index reloads a sharded L2 snapshot written by WriteTo.
+// Multi-probe sharded snapshots are rejected (use
+// ReadShardedMultiProbeL2Index so the probe configuration is kept).
 func ReadShardedL2Index(r io.Reader) (*ShardedL2Index, error) {
-	sh, _, err := persist.ReadSharded[Dense](r, persist.MetricL2)
+	sh, meta, err := persist.ReadSharded[Dense](r, persist.MetricL2)
 	if err != nil {
 		return nil, err
 	}
+	if meta.Probes != 0 {
+		return nil, fmt.Errorf("hybridlsh: snapshot holds a multi-probe sharded index (T=%d); use ReadShardedMultiProbeL2Index", meta.Probes)
+	}
 	return &ShardedL2Index{sh}, nil
+}
+
+// WriteTo writes a snapshot of the sharded multi-probe index, including
+// the shared probe configuration; see (*ShardedL2Index).WriteTo for the
+// consistency guarantees.
+func (s *ShardedMultiProbeL2Index) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteSharded(w, persist.MetricL2, s.Sharded)
+}
+
+// ReadShardedMultiProbeL2Index reloads a sharded multi-probe L2
+// snapshot written by WriteTo: per-shard hash functions, buckets,
+// sketches and the probe configuration are restored exactly, so answers
+// are id-for-id identical to the saved index.
+func ReadShardedMultiProbeL2Index(r io.Reader) (*ShardedMultiProbeL2Index, error) {
+	sh, meta, err := persist.ReadSharded[Dense](r, persist.MetricL2)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Probes == 0 {
+		return nil, fmt.Errorf("hybridlsh: snapshot holds a plain sharded index; use ReadShardedL2Index")
+	}
+	return &ShardedMultiProbeL2Index{Sharded: sh, probes: meta.Probes}, nil
 }
 
 // WriteTo writes a snapshot of the sharded index; see

@@ -47,7 +47,7 @@ func NewShardedL2Index(points []Dense, r float64, opts ...Option) (*ShardedL2Ind
 	if r <= 0 {
 		return nil, fmt.Errorf("hybridlsh: NewShardedL2Index radius = %v, want > 0", r)
 	}
-	s, err := shard.New(points, o.shardCount(), o.seed, func(pts []Dense, seed uint64) (*core.Index[Dense], error) {
+	s, err := shard.New(points, o.shardCount(), o.seed, func(pts []Dense, seed uint64) (core.Store[Dense], error) {
 		so := o
 		so.seed = seed
 		return newL2Core(pts, r, so)
@@ -72,7 +72,7 @@ func NewShardedHammingIndex(points []Binary, r float64, opts ...Option) (*Sharde
 	if len(points) == 0 {
 		return nil, errEmpty("NewShardedHammingIndex")
 	}
-	s, err := shard.New(points, o.shardCount(), o.seed, func(pts []Binary, seed uint64) (*core.Index[Binary], error) {
+	s, err := shard.New(points, o.shardCount(), o.seed, func(pts []Binary, seed uint64) (core.Store[Binary], error) {
 		so := o
 		so.seed = seed
 		return newHammingCore(pts, r, so)
