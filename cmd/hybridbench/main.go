@@ -10,6 +10,7 @@
 //	hybridbench -exp persist           # build-once-load-many: snapshot load vs rebuild
 //	hybridbench -exp delete            # tombstone skew vs online compaction
 //	hybridbench -exp multiprobe        # multi-probe T vs L at fixed recall
+//	hybridbench -exp covering          # covering LSH: guaranteed recall vs classic Hamming
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, all")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
 		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
@@ -102,6 +103,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return deleteExp(cfg, rep)
 	case "multiprobe":
 		return multiProbeExp(cfg, rep)
+	case "covering":
+		return coveringExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -129,10 +132,30 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		if err := deleteExp(cfg, rep); err != nil {
 			return err
 		}
-		return multiProbeExp(cfg, rep)
+		if err := multiProbeExp(cfg, rep); err != nil {
+			return err
+		}
+		return coveringExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// coveringExp runs the guaranteed-recall experiment: covering LSH's
+// recall-1.0 structure vs the classic bit-sampling hybrid index at the
+// same small Hamming radii.
+func coveringExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.CoveringExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Covering LSH — guaranteed recall vs classic Hamming")
+	bench.PrintCovering(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddCovering(res)
+	}
+	return nil
 }
 
 // multiProbeExp runs the multi-probe sweep: how few tables, probing T

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	hybridlsh "repro"
+)
+
+func coveringConfig() config {
+	cfg := defaultConfig()
+	cfg.metric = "hamming"
+	cfg.dim = 64
+	cfg.n = 1500
+	cfg.shards = 4
+	cfg.coverRadius = 3
+	cfg.seed = 5
+	cfg.window = 128
+	return cfg
+}
+
+// TestCoveringQueryEndToEnd: a -radius server must answer exact ground
+// truth (recall 1.0 — the covering guarantee), report the effective
+// radius, accept per-request narrowing and reject widening.
+func TestCoveringQueryEndToEnd(t *testing.T) {
+	cfg := coveringConfig()
+	ts := startServer(t, cfg)
+	points := seedBinary(cfg.n, cfg.dim, cfg.seed)
+
+	for qi := 0; qi < 10; qi++ {
+		q := points[qi*37]
+		truth := hybridlsh.GroundTruthHamming(points, q, float64(cfg.coverRadius))
+		var res queryResult
+		post(t, ts.URL+"/query", map[string]any{"point": toBits(q)}, http.StatusOK, &res)
+		if !slices.Equal(sortedIDs(res.IDs), sortedIDs(truth)) {
+			t.Errorf("query %d: served ids (%d) != exact ground truth (%d) — the guarantee broke", qi, len(res.IDs), len(truth))
+		}
+		if res.Radius == nil || *res.Radius != cfg.coverRadius {
+			t.Errorf("query %d: response radius = %v, want %d", qi, res.Radius, cfg.coverRadius)
+		}
+
+		// Narrowing: radius 1 must be the exact radius-1 report.
+		narrow := hybridlsh.GroundTruthHamming(points, q, 1)
+		var nres queryResult
+		post(t, ts.URL+"/query", map[string]any{"point": toBits(q), "radius": 1}, http.StatusOK, &nres)
+		if !slices.Equal(sortedIDs(nres.IDs), sortedIDs(narrow)) {
+			t.Errorf("query %d: radius=1 override != radius-1 ground truth", qi)
+		}
+		if nres.Radius == nil || *nres.Radius != 1 {
+			t.Errorf("query %d: override response radius = %v, want 1", qi, nres.Radius)
+		}
+	}
+
+	// Widening past the built radius loses the guarantee: rejected, not
+	// clamped.
+	var out map[string]any
+	post(t, ts.URL+"/query", map[string]any{"point": toBits(points[0]), "radius": cfg.coverRadius + 1},
+		http.StatusBadRequest, &out)
+	post(t, ts.URL+"/query", map[string]any{"point": toBits(points[0]), "radius": -1},
+		http.StatusBadRequest, &out)
+
+	// Batch with an override.
+	var batch struct {
+		Results []queryResult `json:"results"`
+	}
+	post(t, ts.URL+"/batch", map[string]any{
+		"points": []any{toBits(points[0]), toBits(points[37])}, "radius": 2,
+	}, http.StatusOK, &batch)
+	if len(batch.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(batch.Results))
+	}
+	for i, r := range batch.Results {
+		if r.Radius == nil || *r.Radius != 2 {
+			t.Errorf("batch result %d radius = %v, want 2", i, r.Radius)
+		}
+	}
+
+	// Covering counters in /stats: 20 single queries (10 default + 10
+	// narrowed) + 2 batch members covered; 12 carried an override.
+	var st struct {
+		Covering struct {
+			Enabled         bool  `json:"enabled"`
+			Radius          int   `json:"radius"`
+			Tables          int   `json:"tables"`
+			CoveredQueries  int64 `json:"covered_queries"`
+			OverrideQueries int64 `json:"override_queries"`
+		} `json:"covering"`
+	}
+	get(t, ts.URL+"/stats", &st)
+	if !st.Covering.Enabled || st.Covering.Radius != cfg.coverRadius {
+		t.Fatalf("stats covering = %+v, want enabled with r=%d", st.Covering, cfg.coverRadius)
+	}
+	if want := 1<<(cfg.coverRadius+1) - 1; st.Covering.Tables != want {
+		t.Errorf("stats covering tables = %d, want %d", st.Covering.Tables, want)
+	}
+	if st.Covering.CoveredQueries != 22 {
+		t.Errorf("covered_queries = %d, want 22", st.Covering.CoveredQueries)
+	}
+	if st.Covering.OverrideQueries != 12 {
+		t.Errorf("override_queries = %d, want 12", st.Covering.OverrideQueries)
+	}
+}
+
+// TestCoveringRadiusRejectedOnClassic: classic servers must reject the
+// "radius" field instead of silently ignoring it, on both metrics.
+func TestCoveringRadiusRejectedOnClassic(t *testing.T) {
+	hcfg := coveringConfig()
+	hcfg.coverRadius = 0 // classic hamming
+	hts := startServer(t, hcfg)
+	points := seedBinary(hcfg.n, hcfg.dim, hcfg.seed)
+	var out map[string]any
+	post(t, hts.URL+"/query", map[string]any{"point": toBits(points[0]), "radius": 2},
+		http.StatusBadRequest, &out)
+	post(t, hts.URL+"/batch", map[string]any{"points": []any{toBits(points[0])}, "radius": 2},
+		http.StatusBadRequest, &out)
+
+	lcfg := testConfig() // classic l2
+	lts := startServer(t, lcfg)
+	dense := seedDense(lcfg.n, lcfg.dim, lcfg.seed)
+	post(t, lts.URL+"/query", map[string]any{"point": toFloats(dense[0]), "radius": 2},
+		http.StatusBadRequest, &out)
+
+	// And /stats reports the mode as disabled.
+	var st struct {
+		Covering struct {
+			Enabled bool `json:"enabled"`
+		} `json:"covering"`
+	}
+	get(t, hts.URL+"/stats", &st)
+	if st.Covering.Enabled {
+		t.Fatal("classic server reports covering enabled")
+	}
+}
+
+// TestCoveringFlagValidation: the covering mode composes with neither
+// multi-probe nor non-Hamming metrics.
+func TestCoveringFlagValidation(t *testing.T) {
+	cfg := coveringConfig()
+	cfg.metric = "l2"
+	if _, err := newServer(cfg); err == nil {
+		t.Error("covering l2 server accepted")
+	}
+	cfg = coveringConfig()
+	cfg.probes = 4
+	if _, err := newServer(cfg); err == nil {
+		t.Error("covering + multi-probe server accepted")
+	}
+	cfg = coveringConfig()
+	cfg.coverRadius = 99
+	if _, err := newServer(cfg); err == nil {
+		t.Error("radius past the package cap accepted")
+	}
+}
+
+// TestCoveringSnapshotWarmRestart: the snapshot records the covering
+// parameters, so a restarted server keeps the guarantee with identical
+// answers — even when the boot flags say otherwise.
+func TestCoveringSnapshotWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "index.snap")
+
+	cfg := coveringConfig()
+	cfg.snapshot = snap
+	s1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := seedBinary(cfg.n, cfg.dim, cfg.seed)
+
+	// Delete some points so the restart must preserve tombstones too,
+	// then snapshot.
+	s1.be.remove([]int32{3, 5, 8, 13, 21})
+	if _, err := s1.be.snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := make([][]int32, 8)
+	for qi := range pre {
+		res, err := s1.be.query(mustRaw(t, toBits(points[qi*41])), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre[qi] = sortedIDs(res.IDs)
+	}
+
+	// Boot a second server from the snapshot with classic flags: the
+	// snapshot must win and restore the covering mode.
+	cfg2 := coveringConfig()
+	cfg2.snapshot = snap
+	cfg2.coverRadius = 0
+	s2, err := newServer(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.loadedFrom != snap {
+		t.Fatalf("second server did not warm-start (loadedFrom = %q)", s2.loadedFrom)
+	}
+	if s2.cfg.coverRadius != cfg.coverRadius {
+		t.Fatalf("restored covering radius = %d, want %d", s2.cfg.coverRadius, cfg.coverRadius)
+	}
+	for qi := range pre {
+		res, err := s2.be.query(mustRaw(t, toBits(points[qi*41])), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(sortedIDs(res.IDs), pre[qi]) {
+			t.Fatalf("query %d: restored answers differ from live answers", qi)
+		}
+		if res.Radius == nil || *res.Radius != cfg.coverRadius {
+			t.Fatalf("query %d: restored server answered with radius = %v, want %d", qi, res.Radius, cfg.coverRadius)
+		}
+	}
+}

@@ -31,6 +31,20 @@
 // Snapshots record the probe configuration, so a warm restart of a
 // multi-probe server probes identical bucket sequences.
 //
+// # Covering serving (guaranteed recall)
+//
+// Passing -radius r (hamming only, incompatible with -probes) serves a
+// covering-LSH index (Pagh, SODA 2016): every shard maintains
+// 2^(r+1)−1 mask tables drawn so that any point within Hamming radius r
+// of a query is guaranteed — probability 1, not 1−δ — to share a bucket
+// with it, so every answer has recall 1.0. /query and /batch then accept
+// an optional "radius" field narrowing the reporting radius for that
+// request (0 ≤ radius ≤ r; larger values are rejected, because the
+// tables only cover pairs within r), and /stats gains a "covering" block
+// with the built radius, the table count and per-request counters.
+// Snapshots record the covering parameters (radius and each shard's
+// random map φ), so a warm restart keeps the guarantee bit for bit.
+//
 // Every request body is capped at -maxbody bytes (default 8 MiB);
 // oversized bodies get a 413 JSON error. Deletes are tombstones that
 // compaction makes real: once a shard's tombstone ratio exceeds
@@ -91,6 +105,7 @@ import (
 	"time"
 
 	hybridlsh "repro"
+	"repro/internal/covering"
 	"repro/internal/persist"
 	"repro/internal/rng"
 	"repro/internal/shard"
@@ -117,6 +132,8 @@ func main() {
 		"serve a multi-probe index probing T extra buckets per table (l2 only; 0 = classic hybrid index)")
 	flag.IntVar(&cfg.tables, "tables", cfg.tables,
 		"hash tables per shard index (0 = default: 50 classic, 10 multi-probe)")
+	flag.IntVar(&cfg.coverRadius, "radius", cfg.coverRadius,
+		"serve a covering-LSH index with guaranteed recall within this integer Hamming radius (hamming only; 0 = classic)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -130,6 +147,9 @@ func main() {
 	mode := ""
 	if srv.cfg.probes > 0 {
 		mode = fmt.Sprintf(" multi-probe T=%d", srv.cfg.probes)
+	}
+	if srv.cfg.coverRadius > 0 {
+		mode = fmt.Sprintf(" covering r=%d", srv.cfg.coverRadius)
 	}
 	log.Printf("hybridserve: %s%s index, n=%d dim=%d r=%v shards=%d, listening on %s",
 		srv.cfg.metric, mode, srv.be.topo().Live, srv.cfg.dim, srv.cfg.radius, srv.cfg.shards, cfg.addr)
@@ -174,6 +194,7 @@ type config struct {
 	compactThresh float64
 	probes        int
 	tables        int
+	coverRadius   int
 }
 
 func defaultConfig() config {
@@ -199,10 +220,12 @@ const maxProbeOverride = 1024
 // backend abstracts the two point types behind the JSON boundary; the
 // concrete engines parse requests into their own P. probes carries the
 // request's optional probe override (nil = the server's configured
-// mode) and is rejected by non-multi-probe backends.
+// mode) and is rejected by non-multi-probe backends; radius carries the
+// optional covering-radius narrowing and is rejected by non-covering
+// backends.
 type backend interface {
-	query(raw json.RawMessage, probes *int) (*queryResult, error)
-	batch(raw []json.RawMessage, workers int, probes *int) ([]*queryResult, error)
+	query(raw json.RawMessage, probes, radius *int) (*queryResult, error)
+	batch(raw []json.RawMessage, workers int, probes, radius *int) ([]*queryResult, error)
 	appendPoints(raw []json.RawMessage) ([]int32, error)
 	remove(ids []int32) int
 	compact(shardIdx int) (int, error) // shardIdx < 0 compacts every shard
@@ -228,6 +251,11 @@ type server struct {
 	probeQueries   atomic.Int64
 	probesUsed     atomic.Int64
 	probeOverrides atomic.Int64
+	// Covering counters (zero on non-covering backends): queries
+	// answered with the covering guarantee and how many narrowed the
+	// radius per request.
+	coverQueries   atomic.Int64
+	coverOverrides atomic.Int64
 }
 
 func newServer(cfg config) (*server, error) {
@@ -258,6 +286,18 @@ func newServer(cfg config) (*server, error) {
 	if cfg.tables < 0 {
 		return nil, fmt.Errorf("tables = %d, want >= 0", cfg.tables)
 	}
+	if cfg.coverRadius < 0 || cfg.coverRadius > covering.MaxRadius {
+		return nil, fmt.Errorf("radius = %d, want in [0, %d]", cfg.coverRadius, covering.MaxRadius)
+	}
+	if cfg.coverRadius > 0 && cfg.metric != "hamming" {
+		return nil, fmt.Errorf("covering serving (-radius) supports -metric hamming only, got %q", cfg.metric)
+	}
+	if cfg.coverRadius > 0 && cfg.probes > 0 {
+		return nil, fmt.Errorf("-radius (covering) and -probes (multi-probe) are mutually exclusive serving modes")
+	}
+	if cfg.coverRadius > 0 && cfg.coverRadius >= cfg.dim {
+		return nil, fmt.Errorf("radius = %d, want < dim %d", cfg.coverRadius, cfg.dim)
+	}
 	loadedFrom := ""
 	be, err := loadBackend(&cfg)
 	if err != nil {
@@ -284,6 +324,17 @@ func newServer(cfg config) (*server, error) {
 				return nil, err
 			}
 			be = &engine[hybridlsh.Dense]{sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim)}
+		case cfg.metric == "hamming" && cfg.coverRadius > 0:
+			// Covering mode ignores -tables: the table count is forced to
+			// 2^(r+1)−1 by the radius.
+			ix, err := hybridlsh.NewShardedCoveringHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed),
+				hybridlsh.WithRadius(cfg.coverRadius), hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards))
+			if err != nil {
+				return nil, err
+			}
+			cfg.radius = float64(cfg.coverRadius) // /stats reports one radius
+			be = &engine[hybridlsh.Binary]{sh: ix.Sharded, metric: persist.MetricHamming,
+				parse: parseBinary(cfg.dim), radius: ix.Radius(), writeSnap: persist.WriteShardedCovering}
 		case cfg.metric == "hamming":
 			ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius, opts...)
 			if err != nil {
@@ -329,6 +380,21 @@ func loadBackend(cfg *config) (backend, error) {
 		be = &engine[hybridlsh.Dense]{sh: sh, metric: persist.MetricL2, parse: parseDense(m.Dim), probes: m.Probes}
 	case "hamming":
 		sh, m, err := persist.ReadSharded[hybridlsh.Binary](br, persist.MetricHamming)
+		if errors.Is(err, persist.ErrCoverMode) {
+			// The snapshot holds a covering index: rewind and load it with
+			// the covering reader — the snapshot decides the serving mode.
+			if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+				return nil, serr
+			}
+			csh, cm, cerr := persist.ReadShardedCovering(bufio.NewReaderSize(f, 1<<20))
+			if cerr != nil {
+				return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, cerr)
+			}
+			meta = cm
+			be = &engine[hybridlsh.Binary]{sh: csh, metric: persist.MetricHamming,
+				parse: parseBinary(cm.Dim), radius: cm.CoverRadius, writeSnap: persist.WriteShardedCovering}
+			break
+		}
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, err)
 		}
@@ -340,7 +406,8 @@ func loadBackend(cfg *config) (backend, error) {
 	cfg.dim = meta.Dim
 	cfg.radius = meta.Radius
 	cfg.shards = meta.Shards
-	cfg.probes = meta.Probes // the snapshot decides the serving mode
+	cfg.probes = meta.Probes           // the snapshot decides the serving mode
+	cfg.coverRadius = meta.CoverRadius // ditto for covering
 	return be, nil
 }
 
@@ -448,8 +515,9 @@ func parseBinary(dim int) func(json.RawMessage) (hybridlsh.Binary, error) {
 }
 
 // queryResult is the wire form of one answered query. Probes is set
-// only on multi-probe backends (the effective T the query used);
-// override records whether the request supplied its own T.
+// only on multi-probe backends (the effective T the query used) and
+// Radius only on covering backends (the effective reporting radius);
+// override records whether the request supplied its own T or radius.
 type queryResult struct {
 	IDs          []int32 `json:"ids"`
 	LSHShards    int     `json:"lsh_shards"`
@@ -458,6 +526,7 @@ type queryResult struct {
 	Candidates   int     `json:"candidates"`
 	WallUS       float64 `json:"wall_us"`
 	Probes       *int    `json:"probes,omitempty"`
+	Radius       *int    `json:"radius,omitempty"`
 	override     bool
 }
 
@@ -476,12 +545,17 @@ func toResult(ids []int32, st shard.QueryStats) *queryResult {
 }
 
 // engine adapts one concrete Sharded[P] to the JSON backend interface.
-// probes > 0 marks a multi-probe backend and carries its configured T.
+// probes > 0 marks a multi-probe backend and carries its configured T;
+// radius > 0 marks a covering backend and carries its built radius.
+// writeSnap overrides the snapshot writer for index kinds with their own
+// wire layout (covering); nil means the classic persist.WriteSharded.
 type engine[P any] struct {
-	sh     *shard.Sharded[P]
-	metric string // persist metric identifier for snapshots
-	parse  func(json.RawMessage) (P, error)
-	probes int
+	sh        *shard.Sharded[P]
+	metric    string // persist metric identifier for snapshots
+	parse     func(json.RawMessage) (P, error)
+	probes    int
+	radius    int
+	writeSnap func(w io.Writer, sh *shard.Sharded[P]) (int64, error)
 }
 
 // resolveProbes maps a request's optional probe override to the
@@ -508,8 +582,38 @@ func (e *engine[P]) resolveProbes(probes *int) (int, bool, error) {
 	return t, true, nil
 }
 
-func (e *engine[P]) query(raw json.RawMessage, probes *int) (*queryResult, error) {
-	t, override, err := e.resolveProbes(probes)
+// resolveRadius maps a request's optional radius override to the
+// effective reporting radius for this backend: nil keeps the built
+// covering radius, an explicit value must lie in [0, built radius] —
+// larger values are rejected, because the covering tables only
+// guarantee pairs within the built radius. Non-covering backends reject
+// overrides instead of silently ignoring them.
+func (e *engine[P]) resolveRadius(radius *int) (int, bool, error) {
+	if e.radius == 0 {
+		if radius != nil {
+			return 0, false, errors.New(`"radius" is only supported when the server runs a covering index (start with -radius)`)
+		}
+		return 0, false, nil
+	}
+	if radius == nil {
+		return e.radius, false, nil
+	}
+	r := *radius
+	if r < 0 {
+		return 0, false, fmt.Errorf("radius = %d, want >= 0", r)
+	}
+	if r > e.radius {
+		return 0, false, fmt.Errorf("radius = %d exceeds the built covering radius %d (the no-false-negatives guarantee stops there)", r, e.radius)
+	}
+	return r, true, nil
+}
+
+func (e *engine[P]) query(raw json.RawMessage, probes, radius *int) (*queryResult, error) {
+	t, probeOverride, err := e.resolveProbes(probes)
+	if err != nil {
+		return nil, err
+	}
+	rr, radiusOverride, err := e.resolveRadius(radius)
 	if err != nil {
 		return nil, err
 	}
@@ -518,23 +622,36 @@ func (e *engine[P]) query(raw json.RawMessage, probes *int) (*queryResult, error
 		return nil, err
 	}
 	var res *queryResult
-	if e.probes == 0 {
-		ids, st := e.sh.Query(p)
+	switch {
+	case e.radius > 0:
+		ids, st, err := e.sh.QueryRadius(p, rr)
+		if err != nil {
+			return nil, err
+		}
 		res = toResult(ids, st)
-	} else {
+		res.Radius = &rr
+		res.override = radiusOverride
+	case e.probes > 0:
 		ids, st, err := e.sh.QueryProbes(p, t)
 		if err != nil {
 			return nil, err
 		}
 		res = toResult(ids, st)
 		res.Probes = &t
-		res.override = override
+		res.override = probeOverride
+	default:
+		ids, st := e.sh.Query(p)
+		res = toResult(ids, st)
 	}
 	return res, nil
 }
 
-func (e *engine[P]) batch(raw []json.RawMessage, workers int, probes *int) ([]*queryResult, error) {
-	t, override, err := e.resolveProbes(probes)
+func (e *engine[P]) batch(raw []json.RawMessage, workers int, probes, radius *int) ([]*queryResult, error) {
+	t, probeOverride, err := e.resolveProbes(probes)
+	if err != nil {
+		return nil, err
+	}
+	rr, radiusOverride, err := e.resolveRadius(radius)
 	if err != nil {
 		return nil, err
 	}
@@ -547,19 +664,28 @@ func (e *engine[P]) batch(raw []json.RawMessage, workers int, probes *int) ([]*q
 		pts[i] = p
 	}
 	var results []shard.BatchResult
-	if e.probes == 0 {
-		results = e.sh.QueryBatch(pts, workers)
-	} else {
+	switch {
+	case e.radius > 0:
+		if results, err = e.sh.QueryBatchRadius(pts, workers, rr); err != nil {
+			return nil, err
+		}
+	case e.probes > 0:
 		if results, err = e.sh.QueryBatchProbes(pts, workers, t); err != nil {
 			return nil, err
 		}
+	default:
+		results = e.sh.QueryBatch(pts, workers)
 	}
 	out := make([]*queryResult, len(results))
 	for i, r := range results {
 		out[i] = toResult(r.IDs, r.Stats)
-		if e.probes != 0 {
+		switch {
+		case e.radius != 0:
+			out[i].Radius = &rr
+			out[i].override = radiusOverride
+		case e.probes != 0:
 			out[i].Probes = &t
-			out[i].override = override
+			out[i].override = probeOverride
 		}
 	}
 	return out, nil
@@ -596,7 +722,13 @@ func (e *engine[P]) autoCompact(threshold float64) { e.sh.SetAutoCompact(thresho
 func (e *engine[P]) snapshot(path string) (int64, error) {
 	return persist.WriteFileAtomic(path, func(w io.Writer) (int64, error) {
 		bw := bufio.NewWriterSize(w, 1<<20)
-		n, err := persist.WriteSharded(bw, e.metric, e.sh)
+		var n int64
+		var err error
+		if e.writeSnap != nil {
+			n, err = e.writeSnap(bw, e.sh)
+		} else {
+			n, err = persist.WriteSharded(bw, e.metric, e.sh)
+		}
 		if err == nil {
 			err = bw.Flush()
 		}
@@ -619,6 +751,12 @@ func (s *server) record(r *queryResult) {
 		s.probesUsed.Add(int64(*r.Probes))
 		if r.override {
 			s.probeOverrides.Add(1)
+		}
+	}
+	if r.Radius != nil {
+		s.coverQueries.Add(1)
+		if r.override {
+			s.coverOverrides.Add(1)
 		}
 	}
 }
@@ -681,6 +819,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Point  json.RawMessage `json:"point"`
 		Probes *int            `json:"probes"`
+		Radius *int            `json:"radius"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, statusFor(err), err)
@@ -690,7 +829,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New(`missing "point"`))
 		return
 	}
-	res, err := s.be.query(req.Point, req.Probes)
+	res, err := s.be.query(req.Point, req.Probes, req.Radius)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -704,6 +843,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Points  []json.RawMessage `json:"points"`
 		Workers int               `json:"workers"`
 		Probes  *int              `json:"probes"`
+		Radius  *int              `json:"radius"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, statusFor(err), err)
@@ -722,7 +862,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Workers < 0 {
 		req.Workers = 0
 	}
-	results, err := s.be.batch(req.Points, req.Workers, req.Probes)
+	results, err := s.be.batch(req.Points, req.Workers, req.Probes, req.Radius)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -837,6 +977,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		multiprobe["probes_used_total"] = s.probesUsed.Load()
 		multiprobe["override_queries"] = s.probeOverrides.Load()
 	}
+	cover := map[string]any{"enabled": s.cfg.coverRadius > 0}
+	if s.cfg.coverRadius > 0 {
+		cover["radius"] = s.cfg.coverRadius
+		cover["tables"] = covering.NumTables(s.cfg.coverRadius)
+		cover["covered_queries"] = s.coverQueries.Load()
+		cover["override_queries"] = s.coverOverrides.Load()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"metric":      s.cfg.metric,
 		"dim":         s.cfg.dim,
@@ -861,6 +1008,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"linear_shard_answers": s.linAns.Load(),
 		},
 		"multiprobe": multiprobe,
+		"covering":   cover,
 		"latency_us": map[string]any{
 			"p50":   p[0],
 			"p95":   p[1],

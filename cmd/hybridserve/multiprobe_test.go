@@ -178,7 +178,7 @@ func TestMultiProbeSnapshotWarmRestart(t *testing.T) {
 
 	pre := make([][]int32, 8)
 	for qi := range pre {
-		res, err := s1.be.query(mustRaw(t, toFloats(points[qi*41])), nil)
+		res, err := s1.be.query(mustRaw(t, toFloats(points[qi*41])), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestMultiProbeSnapshotWarmRestart(t *testing.T) {
 		t.Fatalf("restored probes = %d, want %d", s2.cfg.probes, cfg.probes)
 	}
 	for qi := range pre {
-		res, err := s2.be.query(mustRaw(t, toFloats(points[qi*41])), nil)
+		res, err := s2.be.query(mustRaw(t, toFloats(points[qi*41])), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -71,6 +71,22 @@
 // snapshot through the same machinery (the probe configuration is
 // recorded in the snapshot), and serve via hybridserve -probes.
 //
+// # Covering serving mode (guaranteed recall)
+//
+// Every index above reports each true r-near neighbor with probability
+// 1 − δ. NewCoveringHammingIndex and NewShardedCoveringHammingIndex
+// close the remaining δ for Hamming space with covering LSH (Pagh,
+// SODA 2016; the second extension Section 5 names): 2^(r+1) − 1 mask
+// tables drawn from a random map φ so that every point within the
+// integer radius r (WithRadius, default 2, capped at 12) shares a
+// bucket with the query — probability 1, zero false negatives — which
+// makes both hybrid paths exact and recall always 1.0. The covering
+// types expose the same Query/QueryLSH/QueryLinear/DecideStrategy/
+// QueryBatch/Append surface plus per-call radius narrowing
+// (QueryRadius), shard, compact and snapshot through the same machinery
+// (radius and φ are recorded in the snapshot's "covr" section), and
+// serve via hybridserve -radius.
+//
 // # Persistence
 //
 // Every index type implements io.WriterTo and has a matching Read

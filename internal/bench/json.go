@@ -33,6 +33,7 @@ type JSONReport struct {
 	Persist    *PersistResult    `json:"persist,omitempty"`
 	Delete     *DeleteResult     `json:"delete,omitempty"`
 	MultiProbe *MultiProbeResult `json:"multiprobe,omitempty"`
+	Covering   *CoveringResult   `json:"covering,omitempty"`
 }
 
 // NewJSONReport starts an empty report for the given configuration.
@@ -57,6 +58,10 @@ func (r *JSONReport) AddDelete(res *DeleteResult) { r.Delete = res }
 
 // AddMultiProbe records the T-vs-L multi-probe sweep of the run.
 func (r *JSONReport) AddMultiProbe(res *MultiProbeResult) { r.MultiProbe = res }
+
+// AddCovering records the covering-vs-classic guaranteed-recall
+// comparison of the run.
+func (r *JSONReport) AddCovering(res *CoveringResult) { r.Covering = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

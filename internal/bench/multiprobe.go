@@ -167,16 +167,20 @@ func MultiProbeExperiment(cfg Config) (*MultiProbeResult, error) {
 }
 
 // lshMeasure is one forced-LSH pass over the query set: per-query
-// means of recall, wall time, collisions and distinct candidates.
+// means of recall, wall time, collisions and distinct candidates, plus
+// the count of queries whose stats report the linear strategy (always 0
+// on forced-LSH passes; meaningful when the measured function is the
+// hybrid Query).
 type lshMeasure struct {
 	recall, queryUS, collisions, candidates float64
+	linear                                  int
 }
 
-// measureLSH times one forced-LSH query function over the query set
+// measureLSH times one forced query function over the query set
 // (timing averaged over runs; recall and counts from the run-invariant
-// first pass).
-func measureLSH(queries []vector.Dense, truth [][]int32, runs int,
-	query func(vector.Dense) ([]int32, core.QueryStats)) lshMeasure {
+// first pass). The covering experiment reuses it over binary points.
+func measureLSH[P any](queries []P, truth [][]int32, runs int,
+	query func(P) ([]int32, core.QueryStats)) lshMeasure {
 	var m lshMeasure
 	var wall time.Duration
 	for run := 0; run < runs; run++ {
@@ -188,6 +192,9 @@ func measureLSH(queries []vector.Dense, truth [][]int32, runs int,
 				m.recall += core.Recall(out, truth[i])
 				m.collisions += float64(st.Collisions)
 				m.candidates += float64(st.Candidates)
+				if st.Strategy == core.StrategyLinear {
+					m.linear++
+				}
 			}
 		}
 	}

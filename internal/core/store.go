@@ -3,10 +3,10 @@ package core
 // Store is the index contract the shard package builds on: one shard is
 // any hybrid index that can report its size, expose its point slice for
 // snapshots and compaction absorption, answer hybrid queries, grow by
-// appending, and rewrite itself without a set of dead points. Both the
-// plain *Index and multiprobe.Index satisfy it, which is what lets the
-// sharding, compaction and persistence machinery serve multi-probe
-// shards unchanged.
+// appending, and rewrite itself without a set of dead points. The plain
+// *Index, multiprobe.Index and covering.Index all satisfy it, which is
+// what lets the sharding, compaction and persistence machinery serve
+// multi-probe and covering shards unchanged.
 //
 // Implementations follow Index's concurrency contract: any number of
 // concurrent Query calls, but Append is single-writer and CompactStore
@@ -33,6 +33,16 @@ type Store[P any] interface {
 // the store's configured default.
 type ProbeQuerier[P any] interface {
 	QueryProbes(q P, t int) ([]int32, QueryStats)
+}
+
+// RadiusQuerier is implemented by stores that can answer a query with a
+// per-call reporting-radius override (covering LSH): r is the radius for
+// this call, r < 0 means the store's built radius. Implementations may
+// only narrow — overrides above the built radius are clamped to it,
+// because the structure's guarantees stop there; serving layers should
+// reject such requests instead of relying on the clamp.
+type RadiusQuerier[P any] interface {
+	QueryRadius(q P, r int) ([]int32, QueryStats)
 }
 
 // CompactStore implements Store by delegating to Compact.

@@ -1,0 +1,82 @@
+package covering
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/vector"
+)
+
+// TestNoFalseNegativesProperty is the scheme's defining guarantee as a
+// property test: for seeded random data, EVERY point within radius r of
+// a query MUST appear in the covering results — across r = 1..4, on the
+// forced-LSH path and the hybrid path, and again after delete→compact
+// (with the survivor ids remapped). A single miss anywhere is a broken
+// guarantee, not noise.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	hamming := func(a, b vector.Binary) float64 { return float64(vector.Hamming(a, b)) }
+	for r := 1; r <= 4; r++ {
+		for seed := uint64(0); seed < 4; seed++ {
+			pts, center := randomPoints(300, 120, 64, r+1, seed*13+uint64(r))
+			ix, err := New(pts, r, Config{Seed: seed*29 + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr := rng.New(seed * 31)
+			queries := []vector.Binary{center}
+			for i := 0; i < 10; i++ {
+				queries = append(queries, pts[rr.Intn(len(pts))])
+			}
+			// Off-dataset queries: random perturbations of data points, so
+			// the guarantee is not only tested at distance 0.
+			for i := 0; i < 5; i++ {
+				q := pts[rr.Intn(len(pts))].Clone()
+				for _, b := range rr.Sample(64, rr.Intn(r+1)) {
+					q.FlipBit(b)
+				}
+				queries = append(queries, q)
+			}
+
+			for qi, q := range queries {
+				truth := core.GroundTruth(pts, hamming, q, float64(r))
+				lsh, _ := ix.QueryLSH(q)
+				if rec := core.Recall(lsh, truth); rec != 1 {
+					t.Fatalf("r=%d seed=%d query %d: forced-LSH recall %v, want 1", r, seed, qi, rec)
+				}
+				hyb, _ := ix.Query(q)
+				if rec := core.Recall(hyb, truth); rec != 1 {
+					t.Fatalf("r=%d seed=%d query %d: hybrid recall %v, want 1", r, seed, qi, rec)
+				}
+				if len(hyb) != len(truth) {
+					t.Fatalf("r=%d seed=%d query %d: %d reported, truth %d (false positives?)",
+						r, seed, qi, len(hyb), len(truth))
+				}
+			}
+
+			// Delete a third of the points and compact: the guarantee must
+			// hold over the survivors, under the rank renumbering.
+			dead := make([]bool, len(pts))
+			for i := range dead {
+				dead[i] = i%3 == 0
+			}
+			cix, err := ix.Compact(dead)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var live []vector.Binary
+			for i, p := range pts {
+				if !dead[i] {
+					live = append(live, p)
+				}
+			}
+			for qi, q := range queries {
+				truth := core.GroundTruth(live, hamming, q, float64(r))
+				out, _ := cix.QueryLSH(q)
+				if rec := core.Recall(out, truth); rec != 1 {
+					t.Fatalf("r=%d seed=%d query %d: post-compaction recall %v, want 1", r, seed, qi, rec)
+				}
+			}
+		}
+	}
+}

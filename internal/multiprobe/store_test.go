@@ -8,12 +8,56 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/rng"
+	"repro/internal/storetest"
 	"repro/internal/vector"
 )
 
-// The shard.Builder / compaction contracts: Append, Compact and the
-// pooled query state added when the package was promoted to a serving
-// mode.
+// The shard.Builder / compaction contracts — Append, CompactStore,
+// DecideStrategy, QueryBatch — are pinned by the shared conformance
+// suite; this file keeps only the multi-probe-specific surface
+// (FromCore validation and the per-call probe override).
+
+// storeData generates n clustered Corel-dim points (σ = 0.03 around 10
+// random centers), so radius-0.45 queries have non-trivial neighbors.
+func storeData(n int, seed uint64) []vector.Dense {
+	const nc = 10
+	r := rng.New(seed)
+	centers := make([]vector.Dense, nc)
+	for i := range centers {
+		c := make(vector.Dense, dataset.CorelDim)
+		for d := range c {
+			c[d] = float32(r.Float64())
+		}
+		centers[i] = c
+	}
+	pts := make([]vector.Dense, n)
+	for i := range pts {
+		c := centers[i%nc]
+		p := make(vector.Dense, dataset.CorelDim)
+		for d := range p {
+			p[d] = c[d] + float32(r.Normal()*0.03)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestStoreContract(t *testing.T) {
+	storetest.Run(t, storetest.Harness[vector.Dense]{
+		Name: "multiprobe-l2",
+		New: func(t *testing.T, pts []vector.Dense, seed uint64) core.Store[vector.Dense] {
+			cfg := testConfig(lsh.NewPStableL2(dataset.CorelDim, 0.9))
+			cfg.Seed = seed
+			ix, err := New(pts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		},
+		Data: storeData,
+	})
+}
 
 func TestFromCoreValidation(t *testing.T) {
 	data, _ := corelData(t)
@@ -66,87 +110,6 @@ func TestFromCoreValidation(t *testing.T) {
 	}
 }
 
-func TestAppendThenQuery(t *testing.T) {
-	data, queries := corelData(t)
-	half := len(data) / 2
-	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
-	cfg := testConfig(fam)
-
-	grown, err := New(data[:half:half], cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := grown.Append(data[half:]); err != nil {
-		t.Fatal(err)
-	}
-	if grown.N() != len(data) {
-		t.Fatalf("N() = %d after append, want %d", grown.N(), len(data))
-	}
-	// Same seed, same families: the incremental index must answer the
-	// whole-build index's answers id-for-id (appends hash with the same
-	// drawn functions).
-	whole, err := New(data, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for qi, q := range queries {
-		a, _ := grown.QueryLSH(q)
-		b, _ := whole.QueryLSH(q)
-		slices.Sort(a)
-		slices.Sort(b)
-		if !slices.Equal(a, b) {
-			t.Fatalf("query %d: grown %v != whole %v", qi, a, b)
-		}
-	}
-}
-
-func TestCompactPreservesAnswersMinusDead(t *testing.T) {
-	data, queries := corelData(t)
-	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
-	ix, err := New(data, testConfig(fam))
-	if err != nil {
-		t.Fatal(err)
-	}
-	dead := make([]bool, len(data))
-	remap := make([]int32, len(data))
-	live := int32(0)
-	for i := range dead {
-		if i%4 == 0 {
-			dead[i] = true
-			remap[i] = -1
-			continue
-		}
-		remap[i] = live
-		live++
-	}
-	st, err := ix.CompactStore(dead)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cix, ok := st.(*Index)
-	if !ok {
-		t.Fatalf("CompactStore returned %T, want *Index", st)
-	}
-	if cix.N() != int(live) || cix.Probes() != ix.Probes() {
-		t.Fatalf("compacted N/T = %d/%d, want %d/%d", cix.N(), cix.Probes(), live, ix.Probes())
-	}
-	for qi, q := range queries {
-		pre, _ := ix.QueryLSH(q)
-		post, _ := cix.QueryLSH(q)
-		want := make([]int32, 0, len(pre))
-		for _, id := range pre {
-			if !dead[id] {
-				want = append(want, remap[id])
-			}
-		}
-		slices.Sort(want)
-		slices.Sort(post)
-		if !slices.Equal(post, want) {
-			t.Fatalf("query %d: compacted %v, want %v", qi, post, want)
-		}
-	}
-}
-
 func TestQueryProbesOverride(t *testing.T) {
 	data, queries := corelData(t)
 	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
@@ -184,46 +147,5 @@ func TestQueryProbesOverride(t *testing.T) {
 	_, s30 := ix.QueryLSHProbes(queries[0], 30)
 	if s30.Collisions < s0.Collisions {
 		t.Fatalf("T=30 collisions %d < T=0 collisions %d", s30.Collisions, s0.Collisions)
-	}
-}
-
-func TestDecideStrategyMatchesQuery(t *testing.T) {
-	data, queries := corelData(t)
-	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
-	ix, err := New(data, testConfig(fam))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for qi, q := range queries {
-		strat, ds := ix.DecideStrategy(q)
-		_, qs := ix.Query(q)
-		if strat != qs.Strategy {
-			t.Fatalf("query %d: DecideStrategy %v, Query %v", qi, strat, qs.Strategy)
-		}
-		if ds.Collisions != qs.Collisions {
-			t.Fatalf("query %d: decide collisions %d, query %d", qi, ds.Collisions, qs.Collisions)
-		}
-	}
-}
-
-func TestQueryBatchAlignment(t *testing.T) {
-	data, queries := corelData(t)
-	fam := lsh.NewPStableL2(dataset.CorelDim, 0.9)
-	ix, err := New(data, testConfig(fam))
-	if err != nil {
-		t.Fatal(err)
-	}
-	results := ix.QueryBatch(queries, 3)
-	if len(results) != len(queries) {
-		t.Fatalf("%d results for %d queries", len(results), len(queries))
-	}
-	for i, r := range results {
-		want, _ := ix.Query(queries[i])
-		got := append([]int32(nil), r.IDs...)
-		slices.Sort(got)
-		slices.Sort(want)
-		if !slices.Equal(got, want) {
-			t.Fatalf("batch result %d misaligned", i)
-		}
 	}
 }

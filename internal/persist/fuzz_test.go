@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/covering"
 	"repro/internal/distance"
 	"repro/internal/lsh"
 	"repro/internal/multiprobe"
@@ -53,6 +54,12 @@ func FuzzReadSnapshot(f *testing.F) {
 			sh.Query(make(vector.Dense, meta.Dim))
 		}
 		if sh, meta, err := ReadSharded[vector.Binary](bytes.NewReader(data), MetricHamming); err == nil {
+			sh.Query(vector.NewBinary(meta.Dim))
+		}
+		if ix, meta, err := ReadCovering(bytes.NewReader(data)); err == nil {
+			ix.Query(vector.NewBinary(meta.Dim))
+		}
+		if sh, meta, err := ReadShardedCovering(bytes.NewReader(data)); err == nil {
 			sh.Query(vector.NewBinary(meta.Dim))
 		}
 	})
@@ -180,6 +187,27 @@ func seedCorpus(f *testing.F) {
 		shmp.Delete([]int32{2, 6})
 		var buf bytes.Buffer
 		if _, err := WriteSharded(&buf, MetricL2, shmp); err == nil {
+			add(buf.Bytes())
+		}
+	}
+	// Plain covering (exercises the "covr" section and bucket-only
+	// tables).
+	if ix, err := covering.New(binaryData(24, 32, 8), 2, covering.Config{
+		HLLRegisters: 16, HLLThreshold: 2, Seed: 8,
+	}); err == nil {
+		var buf bytes.Buffer
+		if _, err := WriteCovering(&buf, ix); err == nil {
+			add(buf.Bytes())
+		}
+	}
+	// Sharded covering with tombstones (structure-level "covr" marker).
+	shcov, err := shard.New(binaryData(24, 32, 9), 2, 11, func(pts []vector.Binary, seed uint64) (core.Store[vector.Binary], error) {
+		return covering.New(pts, 2, covering.Config{HLLRegisters: 16, HLLThreshold: 2, Seed: seed})
+	})
+	if err == nil {
+		shcov.Delete([]int32{3, 8})
+		var buf bytes.Buffer
+		if _, err := WriteShardedCovering(&buf, shcov); err == nil {
 			add(buf.Bytes())
 		}
 	}

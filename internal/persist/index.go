@@ -98,6 +98,11 @@ func readIndexSnapshot[P any](r io.Reader, metric string) (*core.Index[P], *inde
 	if kind != kindIndex {
 		return nil, nil, corrupt("snapshot holds a sharded index; use the sharded reader")
 	}
+	if tag, err := ss.peek(); err != nil {
+		return nil, nil, err
+	} else if tag == "covr" {
+		return nil, nil, fmt.Errorf("%w: snapshot holds a covering index; use the covering reader", ErrCoverMode)
+	}
 	ix, m, err := readIndexBody(ss, c)
 	if err != nil {
 		return nil, nil, err

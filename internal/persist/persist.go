@@ -129,6 +129,13 @@ var (
 	// silently converts — dropping T (or inventing one) would change
 	// answers.
 	ErrProbeMode = errors.New("persist: snapshot probe-mode mismatch")
+	// ErrCoverMode marks a snapshot whose covering mode does not match
+	// the reader used: a covering snapshot handed to a plain (or
+	// multi-probe) reader, or a plain snapshot handed to the covering
+	// reader. Neither reader converts — a covering file records φ and
+	// mask tables instead of an LSH family, so "converting" would mean
+	// rebuilding a different index.
+	ErrCoverMode = errors.New("persist: snapshot covering-mode mismatch")
 	// ErrCorrupt marks structurally invalid input: truncation, CRC
 	// mismatch, impossible counts or out-of-range values.
 	ErrCorrupt = errors.New("persist: corrupt snapshot")
@@ -167,6 +174,11 @@ type Meta struct {
 	// Probes is the multi-probe configuration T recorded in the
 	// snapshot's optional "prob" section (0 for a plain hybrid index).
 	Probes int
+	// CoverRadius is the integer covering radius of a covering-LSH
+	// snapshot (its "covr" section); 0 for every other index kind. For
+	// covering snapshots Radius carries the same value as a float and L
+	// is the derived table count 2^(r+1) − 1.
+	CoverRadius int
 	// Seed is the recorded construction seed (the first shard's for a
 	// sharded snapshot).
 	Seed uint64

@@ -183,6 +183,32 @@ func compactShard[P any](ix *core.Index[P], gids []int32, tombs map[int32]struct
 	return points, ids, buckets, nil
 }
 
+// readTombSection reads and validates the "tomb" section shared by the
+// classic and covering sharded layouts: the sorted tombstoned ids, each
+// inside [0, nextID).
+func readTombSection(ss *sectionStream, nextID int32) ([]int32, error) {
+	payload, err := ss.read("tomb")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	nt := d.count(4, "tombstone")
+	tombstones := make([]int32, nt)
+	for i := range tombstones {
+		tombstones[i] = d.i32()
+		if tombstones[i] < 0 || tombstones[i] >= nextID {
+			return nil, corrupt("tombstone id %d outside [0,%d)", tombstones[i], nextID)
+		}
+		if i > 0 && tombstones[i] <= tombstones[i-1] {
+			return nil, corrupt("tombstone ids not strictly increasing at %d", i)
+		}
+	}
+	if err := d.done("tomb"); err != nil {
+		return nil, err
+	}
+	return tombstones, nil
+}
+
 // ReadSharded reads a sharded snapshot, requiring it to hold the given
 // metric, and reassembles the sharded index: per-shard hash functions,
 // buckets and sketches are restored exactly, the global id space keeps
@@ -224,29 +250,19 @@ func ReadSharded[P any](r io.Reader, metric string) (*shard.Sharded[P], Meta, er
 		return nil, Meta{}, corrupt("next id %d negative", nextID)
 	}
 
-	payload, err = ss.read("tomb")
+	tombstones, err := readTombSection(ss, nextID)
 	if err != nil {
-		return nil, Meta{}, err
-	}
-	d = &dec{b: payload}
-	nt := d.count(4, "tombstone")
-	tombstones := make([]int32, nt)
-	for i := range tombstones {
-		tombstones[i] = d.i32()
-		if tombstones[i] < 0 || tombstones[i] >= nextID {
-			return nil, Meta{}, corrupt("tombstone id %d outside [0,%d)", tombstones[i], nextID)
-		}
-		if i > 0 && tombstones[i] <= tombstones[i-1] {
-			return nil, Meta{}, corrupt("tombstone ids not strictly increasing at %d", i)
-		}
-	}
-	if err := d.done("tomb"); err != nil {
 		return nil, Meta{}, err
 	}
 
 	probes, err := ss.readProbeSection()
 	if err != nil {
 		return nil, Meta{}, err
+	}
+	if tag, err := ss.peek(); err != nil {
+		return nil, Meta{}, err
+	} else if tag == "covr" {
+		return nil, Meta{}, fmt.Errorf("%w: snapshot holds a covering sharded index; use the sharded covering reader", ErrCoverMode)
 	}
 
 	shards := make([]shard.ShardSnapshot[P], nshards)

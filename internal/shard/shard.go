@@ -1,7 +1,8 @@
 // Package shard partitions a hybrid-LSH index across S independent
-// shards (any core.Store implementation — plain core.Index or
-// multiprobe.Index) and serves queries by parallel fan-out with a
-// result-set merge. It is the concurrency layer of the reproduction:
+// shards (any core.Store implementation — plain core.Index,
+// multiprobe.Index or covering.Index) and serves queries by parallel
+// fan-out with a result-set merge. It is the concurrency layer of the
+// reproduction:
 // the underlying indexes are single-writer (Append must not run
 // concurrently with queries), whereas Sharded guards every shard with
 // its own sync.RWMutex, so queries proceed on S-1 shards while the S-th
@@ -74,12 +75,14 @@ const DefaultCompactionThreshold = 0.20
 // single shard it grows.
 type Sharded[P any] struct {
 	shards []*shardState[P]
-	// probing records whether every shard implements core.ProbeQuerier.
-	// It is fixed at construction (compaction preserves each shard's
-	// concrete index type); requiring all shards keeps the probe
-	// fan-out's type assertions safe even against a hand-assembled
+	// probing records whether every shard implements core.ProbeQuerier,
+	// radiusCapable whether every shard implements core.RadiusQuerier.
+	// Both are fixed at construction (compaction preserves each shard's
+	// concrete index type); requiring all shards keeps the override
+	// fan-outs' type assertions safe even against a hand-assembled
 	// Restore mixing index kinds.
-	probing bool
+	probing       bool
+	radiusCapable bool
 
 	// appendMu serializes appends (target selection + id allocation);
 	// nextID is atomic so readers (N, Delete, Stats) never block behind
@@ -177,15 +180,19 @@ func New[P any](points []P, s int, seed uint64, build Builder[P]) (*Sharded[P], 
 	return sh, nil
 }
 
-// setProbing records whether every shard supports probe overrides.
+// setProbing records whether every shard supports probe overrides and
+// whether every shard supports radius overrides.
 func (s *Sharded[P]) setProbing() {
+	s.probing = true
+	s.radiusCapable = true
 	for _, st := range s.shards {
 		if _, ok := st.ix.(core.ProbeQuerier[P]); !ok {
 			s.probing = false
-			return
+		}
+		if _, ok := st.ix.(core.RadiusQuerier[P]); !ok {
+			s.radiusCapable = false
 		}
 	}
-	s.probing = true
 }
 
 // Shards returns the number of partitions.
@@ -347,6 +354,47 @@ func (s *Sharded[P]) QueryProbes(q P, t int) ([]int32, QueryStats, error) {
 // Probing reports whether the shards support per-query probe overrides
 // (multi-probe shard indexes).
 func (s *Sharded[P]) Probing() bool { return s.probing }
+
+// RadiusCapable reports whether the shards support per-query radius
+// overrides (covering shard indexes).
+func (s *Sharded[P]) RadiusCapable() bool { return s.radiusCapable }
+
+// QueryRadius is Query with a per-shard radius override: every shard
+// answers via core.RadiusQuerier.QueryRadius(q, r) — the report covers
+// radius r instead of each shard's built radius (r < 0 restores the
+// default; overrides above the built radius are clamped by the stores,
+// see core.RadiusQuerier). It returns an error when the shards do not
+// support radius overrides (i.e. were not built as covering indexes).
+func (s *Sharded[P]) QueryRadius(q P, r int) ([]int32, QueryStats, error) {
+	if !s.RadiusCapable() {
+		return nil, QueryStats{}, fmt.Errorf("shard: QueryRadius on shards without radius-override support")
+	}
+	ids, stats := s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
+		return ix.(core.RadiusQuerier[P]).QueryRadius(q, r)
+	})
+	return ids, stats, nil
+}
+
+// QueryBatchRadius is QueryBatch with a per-shard radius override applied
+// to every query (see QueryRadius). It returns an error when the shards
+// do not support radius overrides.
+func (s *Sharded[P]) QueryBatchRadius(queries []P, workers, r int) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if !s.RadiusCapable() {
+		return nil, fmt.Errorf("shard: QueryBatchRadius on shards without radius-override support")
+	}
+	if workers <= 0 {
+		workers = s.DefaultBatchWorkers()
+	}
+	results := make([]BatchResult, len(queries))
+	core.ForEach(len(queries), workers, func(i int) {
+		ids, qs, _ := s.QueryRadius(queries[i], r)
+		results[i] = BatchResult{IDs: ids, Stats: qs}
+	})
+	return results, nil
+}
 
 // fanOut runs one per-shard query function across all shards in
 // parallel and merges the results (the shared body of Query and

@@ -1,0 +1,275 @@
+// Package storetest is the shared conformance suite for core.Store
+// implementations. Every index kind the shard layer can serve — the
+// plain core.Index, multiprobe.Index and covering.Index — must pass it,
+// so the contract the sharding, compaction and persistence machinery
+// relies on is pinned in one place instead of copy-pasted per package.
+//
+// Usage, from the implementation's own test package:
+//
+//	storetest.Run(t, storetest.Harness[vector.Dense]{
+//		Name: "multiprobe-l2",
+//		New:  func(t *testing.T, pts []vector.Dense, seed uint64) core.Store[vector.Dense] { ... },
+//		Data: func(n int, seed uint64) []vector.Dense { ... },
+//	})
+package storetest
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Harness describes one store implementation under test.
+type Harness[P any] struct {
+	// Name labels the subtests.
+	Name string
+	// New builds the store under test over points with the given
+	// construction seed. Equal (points, seed) pairs must build stores
+	// that answer identically — the append-equivalence subtest builds
+	// twice and compares.
+	New func(t *testing.T, points []P, seed uint64) core.Store[P]
+	// Data generates n deterministic points for the given seed.
+	Data func(n int, seed uint64) []P
+}
+
+// batcher is the QueryBatch surface every store in this repository
+// provides on top of the minimal core.Store contract.
+type batcher[P any] interface {
+	QueryBatch(queries []P, workers int) []core.BatchResult
+}
+
+// decider is the optional decision-only surface; when present it must
+// agree with Query.
+type decider[P any] interface {
+	DecideStrategy(q P) (core.Strategy, core.QueryStats)
+}
+
+// lshQuerier is the forced-LSH surface. The compaction subtest prefers
+// it over Query: compaction changes the cost-model inputs, so the hybrid
+// decision may legitimately flip to the exact linear scan and report
+// points the LSH structure misses — forcing LSH pins the structure
+// itself.
+type lshQuerier[P any] interface {
+	QueryLSH(q P) ([]int32, core.QueryStats)
+}
+
+// query answers via forced LSH when the store provides it, else Query.
+func query[P any](st core.Store[P], q P) []int32 {
+	if l, ok := st.(lshQuerier[P]); ok {
+		ids, _ := l.QueryLSH(q)
+		return ids
+	}
+	ids, _ := st.Query(q)
+	return ids
+}
+
+// Run exercises the core.Store contract: point exposure, id hygiene,
+// append equivalence, batch alignment, decision consistency and the
+// CompactStore rewrite semantics.
+func Run[P any](t *testing.T, h Harness[P]) {
+	t.Helper()
+	if h.New == nil || h.Data == nil {
+		t.Fatalf("storetest: harness %q must set New and Data", h.Name)
+	}
+	t.Run(h.Name, func(t *testing.T) {
+		t.Run("PointsAligned", h.testPointsAligned)
+		t.Run("QueryIDsValid", h.testQueryIDsValid)
+		t.Run("AppendEquivalence", h.testAppendEquivalence)
+		t.Run("AppendEmptyIsNoop", h.testAppendEmpty)
+		t.Run("QueryBatchAlignment", h.testQueryBatchAlignment)
+		t.Run("DecideStrategyConsistent", h.testDecideStrategy)
+		t.Run("CompactStore", h.testCompactStore)
+		t.Run("CompactStoreRejectsBadLength", h.testCompactBadLength)
+	})
+}
+
+// queries returns a deterministic query set drawn from the data itself,
+// so every store sees non-trivial result sets.
+func (h Harness[P]) queries(data []P) []P {
+	n := 20
+	if n > len(data) {
+		n = len(data)
+	}
+	qs := make([]P, 0, n)
+	for i := 0; i < n; i++ {
+		qs = append(qs, data[(i*13)%len(data)])
+	}
+	return qs
+}
+
+func sorted(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	slices.Sort(out)
+	return out
+}
+
+func (h Harness[P]) testPointsAligned(t *testing.T) {
+	data := h.Data(120, 1)
+	st := h.New(t, data, 7)
+	if st.N() != len(data) {
+		t.Fatalf("N() = %d, want %d", st.N(), len(data))
+	}
+	if got := st.Points(); len(got) != len(data) {
+		t.Fatalf("Points() has %d entries, want %d", len(got), len(data))
+	}
+}
+
+func (h Harness[P]) testQueryIDsValid(t *testing.T) {
+	data := h.Data(150, 2)
+	st := h.New(t, data, 7)
+	for qi, q := range h.queries(data) {
+		ids, stats := st.Query(q)
+		seen := make(map[int32]struct{}, len(ids))
+		for _, id := range ids {
+			if id < 0 || int(id) >= st.N() {
+				t.Fatalf("query %d: id %d outside [0,%d)", qi, id, st.N())
+			}
+			if _, dup := seen[id]; dup {
+				t.Fatalf("query %d: duplicate id %d", qi, id)
+			}
+			seen[id] = struct{}{}
+		}
+		if stats.Results != len(ids) {
+			t.Fatalf("query %d: stats.Results = %d for %d ids", qi, stats.Results, len(ids))
+		}
+	}
+}
+
+// testAppendEquivalence pins the append contract: ids are assigned from
+// N upward and new points are hashed with the already-drawn functions,
+// so an index grown by Append answers exactly like one built over the
+// whole set with the same seed.
+func (h Harness[P]) testAppendEquivalence(t *testing.T) {
+	data := h.Data(160, 3)
+	half := len(data) / 2
+	grown := h.New(t, data[:half:half], 7)
+	if err := grown.Append(data[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if grown.N() != len(data) {
+		t.Fatalf("N() = %d after append, want %d", grown.N(), len(data))
+	}
+	whole := h.New(t, data, 7)
+	for qi, q := range h.queries(data) {
+		// Forced LSH (when available): the hybrid linear fallback answers
+		// from the point slice alone and would mask diverging tables.
+		a := query(grown, q)
+		b := query(whole, q)
+		if !slices.Equal(sorted(a), sorted(b)) {
+			t.Fatalf("query %d: grown %v != whole %v", qi, sorted(a), sorted(b))
+		}
+	}
+}
+
+func (h Harness[P]) testAppendEmpty(t *testing.T) {
+	data := h.Data(60, 4)
+	st := h.New(t, data, 7)
+	if err := st.Append(nil); err != nil {
+		t.Fatalf("Append(nil) = %v", err)
+	}
+	if st.N() != len(data) {
+		t.Fatalf("N() = %d after empty append, want %d", st.N(), len(data))
+	}
+}
+
+func (h Harness[P]) testQueryBatchAlignment(t *testing.T) {
+	data := h.Data(150, 5)
+	st := h.New(t, data, 7)
+	b, ok := st.(batcher[P])
+	if !ok {
+		t.Fatalf("%T does not provide QueryBatch", st)
+	}
+	queries := h.queries(data)
+	results := b.QueryBatch(queries, 3)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results {
+		want, _ := st.Query(queries[i])
+		if !slices.Equal(sorted(r.IDs), sorted(want)) {
+			t.Fatalf("batch result %d misaligned", i)
+		}
+	}
+}
+
+func (h Harness[P]) testDecideStrategy(t *testing.T) {
+	data := h.Data(150, 6)
+	st := h.New(t, data, 7)
+	d, ok := st.(decider[P])
+	if !ok {
+		t.Fatalf("%T does not provide DecideStrategy", st)
+	}
+	for qi, q := range h.queries(data) {
+		strat, ds := d.DecideStrategy(q)
+		_, qs := st.Query(q)
+		if strat != qs.Strategy {
+			t.Fatalf("query %d: DecideStrategy %v, Query %v", qi, strat, qs.Strategy)
+		}
+		if ds.Collisions != qs.Collisions {
+			t.Fatalf("query %d: decide collisions %d, query %d", qi, ds.Collisions, qs.Collisions)
+		}
+	}
+}
+
+// testCompactStore pins the rewrite contract: same concrete type back,
+// survivors rank-renumbered, answers = pre-compaction answers minus the
+// dead points, and the receiver left fully usable.
+func (h Harness[P]) testCompactStore(t *testing.T) {
+	data := h.Data(160, 8)
+	st := h.New(t, data, 7)
+	dead := make([]bool, len(data))
+	remap := make([]int32, len(data))
+	live := int32(0)
+	for i := range dead {
+		if i%4 == 0 {
+			dead[i] = true
+			remap[i] = -1
+			continue
+		}
+		remap[i] = live
+		live++
+	}
+	queries := h.queries(data)
+	pre := make([][]int32, len(queries))
+	for i, q := range queries {
+		pre[i] = query(st, q)
+	}
+
+	compacted, err := st.CompactStore(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reflect.TypeOf(compacted), reflect.TypeOf(st); got != want {
+		t.Fatalf("CompactStore returned %v, want the receiver's concrete type %v", got, want)
+	}
+	if compacted.N() != int(live) {
+		t.Fatalf("compacted N = %d, want %d", compacted.N(), live)
+	}
+	for qi, q := range queries {
+		post := query(compacted, q)
+		want := make([]int32, 0, len(pre[qi]))
+		for _, id := range pre[qi] {
+			if !dead[id] {
+				want = append(want, remap[id])
+			}
+		}
+		if !slices.Equal(sorted(post), sorted(want)) {
+			t.Fatalf("query %d: compacted %v, want %v", qi, sorted(post), sorted(want))
+		}
+		// The receiver must still answer its original result set.
+		again := query(st, q)
+		if !slices.Equal(sorted(again), sorted(pre[qi])) {
+			t.Fatalf("query %d: receiver answers changed after CompactStore", qi)
+		}
+	}
+}
+
+func (h Harness[P]) testCompactBadLength(t *testing.T) {
+	data := h.Data(40, 9)
+	st := h.New(t, data, 7)
+	if _, err := st.CompactStore(make([]bool, len(data)+1)); err == nil {
+		t.Fatal("CompactStore accepted a dead slice of the wrong length")
+	}
+}

@@ -24,6 +24,7 @@ type options struct {
 	shards        int
 	compactThresh float64
 	probes        int
+	radius        int
 }
 
 // shardCount resolves the shard count for the sharded constructors
@@ -123,6 +124,20 @@ func WithProbes(t int) Option {
 			panic(fmt.Sprintf("hybridlsh: WithProbes(%d), want >= 1", t))
 		}
 		o.probes = t
+	}
+}
+
+// WithRadius sets the integer covering radius r of the covering-LSH
+// constructors (NewCoveringHammingIndex, NewShardedCoveringHammingIndex;
+// ignored by every other constructor, whose radius is the float argument
+// they take directly). Default covering.DefaultRadius = 2. A covering
+// index maintains 2^(r+1) − 1 tables, so r is capped at 12.
+func WithRadius(r int) Option {
+	return func(o *options) {
+		if r < 1 {
+			panic(fmt.Sprintf("hybridlsh: WithRadius(%d), want >= 1", r))
+		}
+		o.radius = r
 	}
 }
 

@@ -32,6 +32,13 @@ import (
 // readers each reject the other's snapshots rather than silently
 // dropping or inventing T.
 //
+// Covering snapshots record the integer radius and the random map φ
+// (the format's "covr" section, which replaces "meta" — a covering
+// index has no LSH family) plus the mask-table buckets, so a reload
+// keeps the zero-false-negatives guarantee bit for bit; the plain and
+// covering readers likewise reject each other's snapshots with a typed
+// error.
+//
 // The decoder rejects corrupt, truncated or adversarial input with an
 // error (persist.ErrBadMagic / ErrVersion / ErrMetric / ErrProbeMode /
 // ErrCorrupt equivalents) rather than panicking; see internal/persist
@@ -155,6 +162,26 @@ func ReadMultiProbeL2Index(r io.Reader) (*MultiProbeL2Index, error) {
 	return &MultiProbeL2Index{ix}, nil
 }
 
+// WriteTo writes a snapshot of the index, including the covering
+// parameters — the integer radius and the drawn map φ (the snapshot
+// format's "covr" section) — so a reload keeps the zero-false-negatives
+// guarantee bit for bit; it implements io.WriterTo. The index must not
+// be appended to concurrently.
+func (ix *CoveringHammingIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteCovering(w, ix.Index)
+}
+
+// ReadCoveringHammingIndex reloads a covering index snapshot written by
+// WriteTo. Plain hybrid snapshots are rejected rather than silently
+// rebuilt under different guarantees.
+func ReadCoveringHammingIndex(r io.Reader) (*CoveringHammingIndex, error) {
+	ix, _, err := persist.ReadCovering(r)
+	if err != nil {
+		return nil, err
+	}
+	return &CoveringHammingIndex{ix}, nil
+}
+
 // WriteTo writes a snapshot of the sharded index; it implements
 // io.WriterTo. It takes a consistent view (appends block for the
 // duration, queries keep flowing) and compacts tombstoned points out of
@@ -206,11 +233,34 @@ func (s *ShardedHammingIndex) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadShardedHammingIndex reloads a sharded Hamming snapshot written by
-// WriteTo.
+// WriteTo. Covering sharded snapshots are rejected (use
+// ReadShardedCoveringHammingIndex so the guarantee-carrying φ tables are
+// kept).
 func ReadShardedHammingIndex(r io.Reader) (*ShardedHammingIndex, error) {
 	sh, _, err := persist.ReadSharded[Binary](r, persist.MetricHamming)
 	if err != nil {
 		return nil, err
 	}
 	return &ShardedHammingIndex{sh}, nil
+}
+
+// WriteTo writes a snapshot of the sharded covering index, including
+// every shard's covering parameters; see (*ShardedL2Index).WriteTo for
+// the consistency guarantees.
+func (s *ShardedCoveringHammingIndex) WriteTo(w io.Writer) (int64, error) {
+	return persist.WriteShardedCovering(w, s.Sharded)
+}
+
+// ReadShardedCoveringHammingIndex reloads a sharded covering snapshot
+// written by WriteTo: per-shard φ maps, buckets, sketches and the shared
+// radius are restored exactly, so answers are id-for-id identical to the
+// saved index and the zero-false-negatives guarantee survives the round
+// trip. Classic sharded Hamming snapshots are rejected (use
+// ReadShardedHammingIndex).
+func ReadShardedCoveringHammingIndex(r io.Reader) (*ShardedCoveringHammingIndex, error) {
+	sh, meta, err := persist.ReadShardedCovering(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCoveringHammingIndex{Sharded: sh, radius: meta.CoverRadius}, nil
 }
