@@ -11,6 +11,7 @@
 //	hybridbench -exp delete            # tombstone skew vs online compaction
 //	hybridbench -exp multiprobe        # multi-probe T vs L at fixed recall
 //	hybridbench -exp covering          # covering LSH: guaranteed recall vs classic Hamming
+//	hybridbench -exp serve             # serving-layer observability overhead (bare vs instrumented)
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, all")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
 		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
@@ -105,6 +106,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return multiProbeExp(cfg, rep)
 	case "covering":
 		return coveringExp(cfg, rep)
+	case "serve":
+		return serveExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -135,10 +138,30 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		if err := multiProbeExp(cfg, rep); err != nil {
 			return err
 		}
-		return coveringExp(cfg, rep)
+		if err := coveringExp(cfg, rep); err != nil {
+			return err
+		}
+		return serveExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// serveExp runs the observability-overhead experiment: the raw sharded
+// query path vs the same path plus hybridserve's per-request metrics
+// bookkeeping, with the p50 penalty as the headline number.
+func serveExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.ServeExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Serving — observability overhead, bare vs instrumented query path")
+	bench.PrintServe(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddServe(res)
+	}
+	return nil
 }
 
 // coveringExp runs the guaranteed-recall experiment: covering LSH's

@@ -16,7 +16,29 @@
 //	POST /delete   {"ids": [...]}                 -> tombstone count
 //	POST /compact  {"shard": j} or empty body     -> drop tombstoned points from buckets
 //	POST /snapshot                                -> persist to the -snapshot path
-//	GET  /stats    topology, strategy mix, compactions, p50/p95/p99 latency
+//	GET  /stats    topology, strategy mix, compactions, drift, p50/p95/p99 latency
+//	GET  /metrics  Prometheus text exposition of the same telemetry
+//
+// # Observability
+//
+// GET /metrics serves the whole telemetry surface in the Prometheus
+// text format (internal/obs, no external client library): per-strategy
+// shard-answer counters, estimate/search/wall latency histograms, the
+// HLL estimate-error drift histogram, per-shard topology gauges and the
+// cost-model drift gauges. /query and /batch accept an optional
+// "trace": true field; the response then carries a "trace" block per
+// answered query with the full Algorithm-2 decision record — per-shard
+// strategy, collision count, HLL estimate vs actual candidates, the
+// α/β cost terms both ways, and the estimate/search time split.
+//
+// -trace-sample N logs every Nth answered query's trace as one
+// structured JSON log line (0, the default, disables sampling), so
+// operators get a decision audit trail without per-request opt-in.
+// -pprof ADDR serves net/http/pprof on a separate listener, kept off
+// the public mux so profiling endpoints are never exposed to clients.
+// On graceful shutdown the server flushes a final metrics snapshot
+// line (queries, strategy mix, drift, topology) to the log before
+// exiting, so post-mortems see the counters' last state.
 //
 // # Multi-probe serving
 //
@@ -98,6 +120,7 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -105,7 +128,9 @@ import (
 	"time"
 
 	hybridlsh "repro"
+	"repro/internal/core"
 	"repro/internal/covering"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rng"
 	"repro/internal/shard"
@@ -134,6 +159,10 @@ func main() {
 		"hash tables per shard index (0 = default: 50 classic, 10 multi-probe)")
 	flag.IntVar(&cfg.coverRadius, "radius", cfg.coverRadius,
 		"serve a covering-LSH index with guaranteed recall within this integer Hamming radius (hamming only; 0 = classic)")
+	flag.IntVar(&cfg.traceSample, "trace-sample", cfg.traceSample,
+		"log every Nth answered query's full decision trace as a structured JSON line (0 = off)")
+	flag.StringVar(&cfg.pprofAddr, "pprof", cfg.pprofAddr,
+		"serve net/http/pprof on this separate address (empty = off; keep it private)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -152,16 +181,20 @@ func main() {
 		mode = fmt.Sprintf(" covering r=%d", srv.cfg.coverRadius)
 	}
 	log.Printf("hybridserve: %s%s index, n=%d dim=%d r=%v shards=%d, listening on %s",
-		srv.cfg.metric, mode, srv.be.topo().Live, srv.cfg.dim, srv.cfg.radius, srv.cfg.shards, cfg.addr)
-	if err := serve(cfg.addr, srv.handler()); err != nil {
+		srv.cfg.metric, mode, srv.be.topo().Live, srv.cfg.dim, srv.reportRadius(), srv.cfg.shards, cfg.addr)
+	if cfg.pprofAddr != "" {
+		go servePprof(cfg.pprofAddr)
+	}
+	if err := serve(cfg.addr, srv.handler(), srv.logFinalMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridserve:", err)
 		os.Exit(1)
 	}
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
-// requests for up to 10 seconds.
-func serve(addr string, h http.Handler) error {
+// requests for up to 10 seconds and runs the final-flush hook once the
+// drain finishes, so the flushed counters include every answered request.
+func serve(addr string, h http.Handler, finalFlush func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -177,7 +210,25 @@ func serve(addr string, h http.Handler) error {
 	log.Print("hybridserve: shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return hs.Shutdown(sctx)
+	err := hs.Shutdown(sctx)
+	finalFlush()
+	return err
+}
+
+// servePprof exposes net/http/pprof on its own mux and listener, so the
+// profiling endpoints never share an address with the public API.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("hybridserve: pprof listening on %s", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("hybridserve: pprof server: %v", err)
+	}
 }
 
 type config struct {
@@ -195,6 +246,8 @@ type config struct {
 	probes        int
 	tables        int
 	coverRadius   int
+	traceSample   int
+	pprofAddr     string
 }
 
 func defaultConfig() config {
@@ -233,6 +286,7 @@ type backend interface {
 	snapshot(path string) (int64, error)
 	topo() shard.Stats
 	maxWorkers() int
+	cost() core.CostModel
 }
 
 // server wires a backend to the HTTP API plus serving telemetry.
@@ -256,6 +310,13 @@ type server struct {
 	// radius per request.
 	coverQueries   atomic.Int64
 	coverOverrides atomic.Int64
+	// reg is the /metrics registry, metrics the query-path bundle
+	// (strategy counters, latency histograms, drift monitor) every
+	// answered query is folded into. sampled counts answered queries for
+	// the -trace-sample access log.
+	reg     *obs.Registry
+	metrics *obs.ServerMetrics
+	sampled atomic.Int64
 }
 
 func newServer(cfg config) (*server, error) {
@@ -298,6 +359,9 @@ func newServer(cfg config) (*server, error) {
 	if cfg.coverRadius > 0 && cfg.coverRadius >= cfg.dim {
 		return nil, fmt.Errorf("radius = %d, want < dim %d", cfg.coverRadius, cfg.dim)
 	}
+	if cfg.traceSample < 0 {
+		return nil, fmt.Errorf("trace-sample = %d, want >= 0 (0 disables)", cfg.traceSample)
+	}
 	loadedFrom := ""
 	be, err := loadBackend(&cfg)
 	if err != nil {
@@ -332,7 +396,6 @@ func newServer(cfg config) (*server, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg.radius = float64(cfg.coverRadius) // /stats reports one radius
 			be = &engine[hybridlsh.Binary]{sh: ix.Sharded, metric: persist.MetricHamming,
 				parse: parseBinary(cfg.dim), radius: ix.Radius(), writeSnap: persist.WriteShardedCovering}
 		case cfg.metric == "hamming":
@@ -346,7 +409,38 @@ func newServer(cfg config) (*server, error) {
 		}
 	}
 	be.autoCompact(cfg.compactThresh)
-	return &server{cfg: cfg, be: be, loadedFrom: loadedFrom, lat: stats.NewRecorder(cfg.window), start: time.Now()}, nil
+	srv := &server{cfg: cfg, be: be, loadedFrom: loadedFrom, lat: stats.NewRecorder(cfg.window), start: time.Now()}
+	srv.reg = obs.NewRegistry()
+	srv.metrics = obs.NewServerMetrics(srv.reg, cfg.window)
+	obs.RegisterTopology(srv.reg, be.topo)
+	obs.RegisterLatencyRecorder(srv.reg, srv.lat)
+	srv.reg.NewGaugeVec("hybridlsh_info",
+		"Serving configuration (always 1); the labels carry the mode.", "metric", "mode").
+		With(cfg.metric, srv.modeName()).Set(1)
+	return srv, nil
+}
+
+// modeName names the serving mode for telemetry labels.
+func (s *server) modeName() string {
+	switch {
+	case s.cfg.coverRadius > 0:
+		return "covering"
+	case s.cfg.probes > 0:
+		return "multiprobe"
+	}
+	return "classic"
+}
+
+// reportRadius is the effective reporting radius: the float the classic
+// and multi-probe indexes were built for, or the integer covering radius
+// in covering mode (where the -r flag plays no role). /stats reports
+// this next to the mode-specific cover_radius rather than overwriting
+// one with the other.
+func (s *server) reportRadius() float64 {
+	if s.cfg.coverRadius > 0 {
+		return float64(s.cfg.coverRadius)
+	}
+	return s.cfg.radius
 }
 
 // loadBackend loads cfg.snapshot when the flag is set and the file
@@ -519,15 +613,17 @@ func parseBinary(dim int) func(json.RawMessage) (hybridlsh.Binary, error) {
 // Radius only on covering backends (the effective reporting radius);
 // override records whether the request supplied its own T or radius.
 type queryResult struct {
-	IDs          []int32 `json:"ids"`
-	LSHShards    int     `json:"lsh_shards"`
-	LinearShards int     `json:"linear_shards"`
-	Collisions   int     `json:"collisions"`
-	Candidates   int     `json:"candidates"`
-	WallUS       float64 `json:"wall_us"`
-	Probes       *int    `json:"probes,omitempty"`
-	Radius       *int    `json:"radius,omitempty"`
+	IDs          []int32         `json:"ids"`
+	LSHShards    int             `json:"lsh_shards"`
+	LinearShards int             `json:"linear_shards"`
+	Collisions   int             `json:"collisions"`
+	Candidates   int             `json:"candidates"`
+	WallUS       float64         `json:"wall_us"`
+	Probes       *int            `json:"probes,omitempty"`
+	Radius       *int            `json:"radius,omitempty"`
+	Trace        *obs.QueryTrace `json:"trace,omitempty"`
 	override     bool
+	stats        shard.QueryStats // full per-shard stats, for metrics and traces
 }
 
 func toResult(ids []int32, st shard.QueryStats) *queryResult {
@@ -541,6 +637,7 @@ func toResult(ids []int32, st shard.QueryStats) *queryResult {
 		Collisions:   st.Collisions,
 		Candidates:   st.Candidates,
 		WallUS:       float64(st.WallTime.Microseconds()),
+		stats:        st,
 	}
 }
 
@@ -740,6 +837,8 @@ func (e *engine[P]) maxWorkers() int { return e.sh.DefaultBatchWorkers() }
 
 func (e *engine[P]) topo() shard.Stats { return e.sh.Stats() }
 
+func (e *engine[P]) cost() core.CostModel { return e.sh.Cost() }
+
 // record folds one answered query into the serving telemetry.
 func (s *server) record(r *queryResult) {
 	s.queries.Add(1)
@@ -759,6 +858,20 @@ func (s *server) record(r *queryResult) {
 			s.coverOverrides.Add(1)
 		}
 	}
+	s.metrics.RecordQuery(r.stats)
+	if n := s.cfg.traceSample; n > 0 && s.sampled.Add(1)%int64(n) == 0 {
+		if b, err := json.Marshal(s.traceOf(r)); err == nil {
+			log.Printf("hybridserve: trace %s", b)
+		}
+	}
+}
+
+// traceOf assembles the full decision trace of one answered query.
+func (s *server) traceOf(r *queryResult) *obs.QueryTrace {
+	tr := obs.NewQueryTrace(r.stats, s.be.cost())
+	tr.Probes = r.Probes
+	tr.Radius = r.Radius
+	return tr
 }
 
 func (s *server) handler() http.Handler {
@@ -771,6 +884,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.reg)
 	// MaxBytesHandler wraps every request body in http.MaxBytesReader, so
 	// a client cannot stream an unbounded body into the JSON decoders;
 	// decode errors from the cap surface as 413 via statusFor.
@@ -820,6 +934,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Point  json.RawMessage `json:"point"`
 		Probes *int            `json:"probes"`
 		Radius *int            `json:"radius"`
+		Trace  bool            `json:"trace"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, statusFor(err), err)
@@ -835,6 +950,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.record(res)
+	if req.Trace {
+		res.Trace = s.traceOf(res)
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -844,6 +962,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Workers int               `json:"workers"`
 		Probes  *int              `json:"probes"`
 		Radius  *int              `json:"radius"`
+		Trace   bool              `json:"trace"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, statusFor(err), err)
@@ -869,6 +988,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, res := range results {
 		s.record(res)
+		if req.Trace {
+			res.Trace = s.traceOf(res)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
@@ -985,17 +1107,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cover["override_queries"] = s.coverOverrides.Load()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"metric":      s.cfg.metric,
-		"dim":         s.cfg.dim,
-		"radius":      s.cfg.radius,
-		"snapshot":    s.cfg.snapshot,
-		"warm_start":  s.loadedFrom != "",
-		"uptime_sec":  time.Since(s.start).Seconds(),
-		"shards":      topo.Shards,
-		"shard_sizes": topo.ShardSizes,
-		"live":        topo.Live,
-		"tombstones":  topo.Tombstones,
-		"queries":     s.queries.Load(),
+		"metric":       s.cfg.metric,
+		"dim":          s.cfg.dim,
+		"radius":       s.reportRadius(),
+		"cover_radius": s.cfg.coverRadius,
+		"snapshot":     s.cfg.snapshot,
+		"warm_start":   s.loadedFrom != "",
+		"uptime_sec":   time.Since(s.start).Seconds(),
+		"shards":       topo.Shards,
+		"shard_sizes":  topo.ShardSizes,
+		"live":         topo.Live,
+		"tombstones":   topo.Tombstones,
+		"queries":      s.queries.Load(),
 		"compaction": map[string]any{
 			"threshold":       s.cfg.compactThresh,
 			"per_shard":       topo.Compactions,
@@ -1009,6 +1132,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"multiprobe": multiprobe,
 		"covering":   cover,
+		"drift":      s.metrics.Drift.Snapshot(),
 		"latency_us": map[string]any{
 			"p50":   p[0],
 			"p95":   p[1],
@@ -1016,4 +1140,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"count": s.lat.Count(),
 		},
 	})
+}
+
+// logFinalMetrics flushes a last metrics snapshot to the log on
+// graceful shutdown, after the request drain — the counters' final
+// state for post-mortems, in one structured JSON line.
+func (s *server) logFinalMetrics() {
+	topo := s.be.topo()
+	d := s.metrics.Drift.Snapshot()
+	b, err := json.Marshal(map[string]any{
+		"queries":              s.queries.Load(),
+		"lsh_shard_answers":    s.lshAns.Load(),
+		"linear_shard_answers": s.linAns.Load(),
+		"live":                 topo.Live,
+		"tombstones":           topo.Tombstones,
+		"compactions_total":    topo.CompactionsTotal,
+		"estimate_error_p50":   d.EstimateError.P50,
+		"drift_time_ratio":     d.TimeRatio,
+		"uptime_sec":           time.Since(s.start).Seconds(),
+	})
+	if err != nil {
+		log.Printf("hybridserve: final metrics: %v", err)
+		return
+	}
+	log.Printf("hybridserve: final metrics %s", b)
 }

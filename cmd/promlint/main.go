@@ -1,0 +1,50 @@
+// Command promlint validates Prometheus text-format (0.0.4) exposition
+// files against the parser in internal/obs — the same one the /metrics
+// writer is lint-tested with:
+//
+//	promlint scrape.txt               # parse + histogram invariants
+//	promlint first.txt second.txt     # additionally: counters and
+//	                                  # histogram series in first must
+//	                                  # not decrease or vanish in second
+//
+// CI uses the two-file form on consecutive scrapes of a live
+// hybridserve to prove the exposition is well-formed and its counters
+// are genuinely cumulative. Exit status 0 means every check passed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: promlint FILE [FILE2]")
+		os.Exit(2)
+	}
+	exps := make([]*obs.Exposition, 0, 2)
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		exp, err := obs.ParseExposition(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d samples, %d typed families\n", path, len(exp.Samples), len(exp.Types))
+		exps = append(exps, exp)
+	}
+	if len(exps) == 2 {
+		if err := obs.CheckMonotonic(exps[0], exps[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s -> %s: %v\n", os.Args[1], os.Args[2], err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s -> %s: counters monotonic\n", os.Args[1], os.Args[2])
+	}
+}

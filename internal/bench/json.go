@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 )
 
 // JSONSchema identifies the report layout; bump it when fields change
@@ -21,12 +22,23 @@ type JSONFigure struct {
 	*Fig2Result
 }
 
+// RunMeta pins the environment one report was produced in, so numbers
+// compared across commits (BENCH_*.json files) can be discounted when
+// the toolchain or machine shape changed underneath them.
+type RunMeta struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
 // JSONReport is the machine-readable form of one hybridbench run: the
 // configuration it ran under plus every experiment result it produced,
 // in production order. cmd/hybridbench writes it via -json so the perf
 // trajectory can be tracked across commits (BENCH_*.json files).
 type JSONReport struct {
 	Schema     string            `json:"schema"`
+	Meta       RunMeta           `json:"meta"`
 	Config     Config            `json:"config"`
 	Table1     []Table1Row       `json:"table1,omitempty"`
 	Figures    []JSONFigure      `json:"figures,omitempty"`
@@ -34,11 +46,22 @@ type JSONReport struct {
 	Delete     *DeleteResult     `json:"delete,omitempty"`
 	MultiProbe *MultiProbeResult `json:"multiprobe,omitempty"`
 	Covering   *CoveringResult   `json:"covering,omitempty"`
+	Serve      *ServeResult      `json:"serve,omitempty"`
 }
 
-// NewJSONReport starts an empty report for the given configuration.
+// NewJSONReport starts an empty report for the given configuration,
+// stamped with the producing environment.
 func NewJSONReport(cfg Config) *JSONReport {
-	return &JSONReport{Schema: JSONSchema, Config: cfg}
+	return &JSONReport{
+		Schema: JSONSchema,
+		Meta: RunMeta{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+		Config: cfg,
+	}
 }
 
 // AddTable1 records the Table-1 rows of the run.
@@ -62,6 +85,10 @@ func (r *JSONReport) AddMultiProbe(res *MultiProbeResult) { r.MultiProbe = res }
 // AddCovering records the covering-vs-classic guaranteed-recall
 // comparison of the run.
 func (r *JSONReport) AddCovering(res *CoveringResult) { r.Covering = res }
+
+// AddServe records the serving-layer observability-overhead experiment
+// of the run.
+func (r *JSONReport) AddServe(res *ServeResult) { r.Serve = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

@@ -437,6 +437,35 @@ type QueryStats struct {
 // TotalTime returns estimation plus search time.
 func (s QueryStats) TotalTime() time.Duration { return s.EstimateTime + s.SearchTime }
 
+// ChosenCost returns the cost-model prediction for the strategy that
+// actually ran: LSHCost for the LSH path, LinearCost for the scan. The
+// drift monitor divides the measured search time by this to get a
+// nanoseconds-per-cost-unit figure per strategy; when the α/β
+// calibration still matches the machine, the two strategies' figures
+// agree.
+func (s QueryStats) ChosenCost() float64 {
+	if s.Strategy == StrategyLSH {
+		return s.LSHCost
+	}
+	return s.LinearCost
+}
+
+// EstimateErrorRatio returns the HLL estimate divided by the actual
+// distinct candidate count, and whether that ratio is meaningful for
+// this query: it requires an LSH-path answer (only the bucket walk
+// counts distinct candidates; the linear scan's Candidates is n) whose
+// decision actually merged the sketches (short-circuited decisions
+// record a bound, not an estimate) and saw at least one candidate. A
+// well-calibrated estimator keeps the ratio near 1; sustained skew is
+// the signal that the per-bucket sketches have drifted from the live
+// data distribution.
+func (s QueryStats) EstimateErrorRatio() (float64, bool) {
+	if s.Strategy != StrategyLSH || !s.Estimated || s.Candidates <= 0 {
+		return 0, false
+	}
+	return s.EstCandidates / float64(s.Candidates), true
+}
+
 // getState draws a pooled query state, growing its visited array if the
 // index has been appended to since the state was created.
 func (ix *Index[P]) getState() *queryState {

@@ -19,6 +19,10 @@ type Store[P any] interface {
 	Points() []P
 	// Query answers one rNNR query with the hybrid strategy.
 	Query(q P) ([]int32, QueryStats)
+	// Cost returns the calibrated cost model driving the store's
+	// LINEAR-vs-LSH decisions; observability layers surface its α/β
+	// terms next to each query's decision trace.
+	Cost() CostModel
 	// Append adds points under ids N..N+len(points)-1.
 	Append(points []P) error
 	// CompactStore returns a new store of the same concrete type without

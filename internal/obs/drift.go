@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// DriftMonitor watches whether the two calibrated halves of the hybrid
+// decision still match reality on a long-running index:
+//
+//   - Estimation drift: the HLL candidate-size estimate divided by the
+//     actual distinct candidate count, per LSH-path query that merged
+//     its sketches. A healthy estimator keeps this ratio near 1; a
+//     sustained skew means candSize — and with it every LSHCost — is
+//     systematically off.
+//
+//   - Cost-model drift: the measured search time divided by the chosen
+//     strategy's predicted cost (Equations (1)/(2)), i.e. nanoseconds
+//     per cost unit, tracked separately for the LSH and linear paths.
+//     Calibration fixed α and β so that one cost unit takes the same
+//     wall time on either path; TimeRatio = lsh/linear ns-per-cost-unit
+//     therefore sits near 1 while the calibration holds, and drifts away
+//     as hardware load or data distribution shift — the signal that α/β
+//     need a refit (the measurement half of online recalibration; the
+//     refit itself is a later change).
+//
+// All three series are sliding windows (stats.Recorder), so the figures
+// reflect recent traffic, not the process's whole history. DriftMonitor
+// is safe for concurrent Record and Snapshot.
+type DriftMonitor struct {
+	estErr *stats.Recorder // HLL estimate / actual candidates
+	lshNPC *stats.Recorder // ns per predicted cost unit, LSH answers
+	linNPC *stats.Recorder // ns per predicted cost unit, linear answers
+}
+
+// DefaultDriftWindow is the per-series sliding-window size used by
+// serving layers that do not configure one.
+const DefaultDriftWindow = 4096
+
+// NewDriftMonitor returns a monitor windowing the last window
+// observations of each series (window < 1 uses DefaultDriftWindow).
+func NewDriftMonitor(window int) *DriftMonitor {
+	if window < 1 {
+		window = DefaultDriftWindow
+	}
+	return &DriftMonitor{
+		estErr: stats.NewRecorder(window),
+		lshNPC: stats.NewRecorder(window),
+		linNPC: stats.NewRecorder(window),
+	}
+}
+
+// Record folds one shard answer into the monitor.
+func (d *DriftMonitor) Record(qs core.QueryStats) {
+	if ratio, ok := qs.EstimateErrorRatio(); ok {
+		d.estErr.Observe(ratio)
+	}
+	if cost := qs.ChosenCost(); cost > 0 && qs.SearchTime > 0 {
+		npc := float64(qs.SearchTime.Nanoseconds()) / cost
+		if qs.Strategy == core.StrategyLSH {
+			d.lshNPC.Observe(npc)
+		} else {
+			d.linNPC.Observe(npc)
+		}
+	}
+}
+
+// RecordQuery folds every shard answer of one fanned-out query into the
+// monitor.
+func (d *DriftMonitor) RecordQuery(st shard.QueryStats) {
+	for _, qs := range st.PerShard {
+		d.Record(qs)
+	}
+}
+
+// DriftSeries summarizes one sliding window: the lifetime observation
+// count and the window's p10/p50/p90.
+type DriftSeries struct {
+	Count int64   `json:"count"`
+	P10   float64 `json:"p10"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+}
+
+func summarize(r *stats.Recorder) DriftSeries {
+	p := r.Percentiles(0.10, 0.50, 0.90)
+	return DriftSeries{Count: r.Count(), P10: p[0], P50: p[1], P90: p[2]}
+}
+
+// DriftStats is a point-in-time drift snapshot, exposed as the "drift"
+// block of /stats and mirrored into /metrics gauges.
+type DriftStats struct {
+	// EstimateError is the HLL-estimate/actual-candidates ratio window
+	// (1.0 = perfect estimation).
+	EstimateError DriftSeries `json:"estimate_error"`
+	// LSHNsPerCost and LinearNsPerCost are the measured
+	// nanoseconds-per-cost-unit windows per strategy.
+	LSHNsPerCost    DriftSeries `json:"lsh_ns_per_cost"`
+	LinearNsPerCost DriftSeries `json:"linear_ns_per_cost"`
+	// TimeRatio is p50(LSH ns/cost) over p50(linear ns/cost) — near 1
+	// while the α/β calibration holds, 0 until both strategies have been
+	// observed.
+	TimeRatio float64 `json:"time_ratio"`
+}
+
+// Snapshot summarizes the current windows.
+func (d *DriftMonitor) Snapshot() DriftStats {
+	s := DriftStats{
+		EstimateError:   summarize(d.estErr),
+		LSHNsPerCost:    summarize(d.lshNPC),
+		LinearNsPerCost: summarize(d.linNPC),
+	}
+	if s.LSHNsPerCost.P50 > 0 && s.LinearNsPerCost.P50 > 0 {
+		s.TimeRatio = s.LSHNsPerCost.P50 / s.LinearNsPerCost.P50
+	}
+	return s
+}

@@ -1,0 +1,486 @@
+// Package obs is the serving stack's observability layer: a
+// zero-dependency metrics registry with Prometheus text exposition
+// (counters, gauges and histograms, with or without labels), a per-query
+// decision trace that captures the full Algorithm-2 record (HLL estimate
+// vs actual candidates, cost terms, chosen strategy, timings, shard
+// attribution), and a drift monitor that watches whether the calibrated
+// α/β cost model still predicts reality on a long-running index.
+//
+// The exposition format is hand-rolled against the Prometheus
+// text-format spec (version 0.0.4) and lint-tested by the parser in
+// parse.go — no external module is involved, which keeps the module
+// dependency-free. Registration of an invalid or duplicate metric name
+// panics, mirroring the behaviour of the reference client library:
+// metric registration happens at process start-up, so a panic there is a
+// programming error caught by the first test that scrapes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric kinds, reported in the # TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// atomicFloat is a float64 with atomic Add/Set/Load via bit-casting.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) Store(v float64) {
+	a.bits.Store(math.Float64bits(v))
+}
+func (a *atomicFloat) Add(d float64) {
+	for {
+		old := a.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + d)
+		if a.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d; it panics if d is negative (counters only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("obs: Counter.Add(%v), counters must not decrease", d))
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d float64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style: one _bucket series per upper bound (plus +Inf), a _sum and a
+// _count. Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: its bucket
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// DefLatencyBuckets covers the serving latency range, in seconds: 10 µs
+// to ~10 s in powers of ~3.2 (half-decades).
+var DefLatencyBuckets = []float64{
+	1e-5, 3.2e-5, 1e-4, 3.2e-4, 1e-3, 3.2e-3, 1e-2, 3.2e-2, 1e-1, 3.2e-1, 1, 3.2, 10,
+}
+
+// RatioBuckets covers a ratio centred on 1.0 (e.g. HLL estimate over
+// actual candidate count): a well-calibrated estimator lands almost all
+// observations in the [0.8, 1.25] band.
+var RatioBuckets = []float64{0.1, 0.25, 0.5, 0.8, 0.9, 0.95, 1, 1.05, 1.1, 1.25, 2, 4, 10}
+
+// ExponentialBuckets returns n strictly increasing bounds starting at
+// start (> 0) and growing by factor (> 1).
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// series is one exposition line: a label-set and a way to read its value.
+type series struct {
+	labels []string // label values, aligned with family.labelNames
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	f      func() float64
+}
+
+// family is one metric name: its help, type, label schema and children.
+type family struct {
+	name       string
+	help       string
+	typ        string
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]*series // key: joined label values
+	order    []string           // registration order of child keys
+}
+
+// Registry holds metric families and writes them in the Prometheus text
+// exposition format. It is safe for concurrent registration, updates and
+// scrapes. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers a hook run at the start of every scrape, before any
+// metric is written. Serving layers use it to refresh pull-style gauges
+// (shard sizes, drift ratios) from their source of truth.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+// validName matches the Prometheus metric-name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabel matches the Prometheus label-name grammar (no colons).
+func validLabel(s string) bool {
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validName(s)
+}
+
+// newFamily validates and installs one family, panicking on an invalid
+// or duplicate name — registration is start-up code, so this is a
+// programming error.
+func (r *Registry) newFamily(name, help, typ string, labelNames []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	if typ == typeHistogram {
+		for _, l := range labelNames {
+			if l == "le" {
+				panic(fmt.Sprintf("obs: histogram %q must not define the reserved label \"le\"", name))
+			}
+		}
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bucket bounds not strictly increasing", name))
+			}
+		}
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelNames: labelNames, buckets: buckets,
+		children: make(map[string]*series),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.families[name] = f
+	return f
+}
+
+// child returns (creating if needed) the series for the given label
+// values.
+func (f *family) child(values []string) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q got %d label values for %d labels", f.name, len(values), len(f.labelNames)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.children[key]; ok {
+		return s
+	}
+	s := &series{labels: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.c = &Counter{}
+	case typeGauge:
+		s.g = &Gauge{}
+	case typeHistogram:
+		s.h = newHistogram(f.buckets)
+	}
+	f.children[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// NewCounter registers and returns a label-less counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.newFamily(name, help, typeCounter, nil, nil).child(nil).c
+}
+
+// NewGauge registers and returns a label-less gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.newFamily(name, help, typeGauge, nil, nil).child(nil).g
+}
+
+// NewHistogram registers and returns a label-less histogram with the
+// given strictly increasing bucket upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	return r.newFamily(name, help, typeHistogram, nil, buckets).child(nil).h
+}
+
+// NewCounterFunc registers a counter whose value is read from f at
+// scrape time. f must be monotonically non-decreasing (it typically
+// reads an existing cumulative counter, e.g. total compactions from the
+// shard layer) and safe to call concurrently.
+func (r *Registry) NewCounterFunc(name, help string, f func() float64) {
+	fam := r.newFamily(name, help, typeCounter, nil, nil)
+	fam.children[""] = &series{f: f}
+	fam.order = append(fam.order, "")
+}
+
+// NewGaugeFunc registers a gauge whose value is read from f at scrape
+// time; f must be safe to call concurrently.
+func (r *Registry) NewGaugeFunc(name, help string, f func() float64) {
+	fam := r.newFamily(name, help, typeGauge, nil, nil)
+	fam.children[""] = &series{f: f}
+	fam.order = append(fam.order, "")
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a counter family partitioned by the given
+// label names.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: NewCounterVec(%q) without labels; use NewCounter", name))
+	}
+	return &CounterVec{r.newFamily(name, help, typeCounter, labelNames, nil)}
+}
+
+// With returns the counter for the given label values (created on first
+// use), aligned with the vec's label names.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).c }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a gauge family partitioned by the given label
+// names.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: NewGaugeVec(%q) without labels; use NewGauge", name))
+	}
+	return &GaugeVec{r.newFamily(name, help, typeGauge, labelNames, nil)}
+}
+
+// With returns the gauge for the given label values (created on first
+// use).
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).g }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers a histogram family partitioned by the given
+// label names, all children sharing the same bucket bounds.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: NewHistogramVec(%q) without labels; use NewHistogram", name))
+	}
+	return &HistogramVec{r.newFamily(name, help, typeHistogram, labelNames, buckets)}
+}
+
+// With returns the histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).h }
+
+// --- exposition ---
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k1="v1",...} for the given names/values plus an
+// optional extra label (the histogram "le"); empty when there are none.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteTo writes the full exposition: families sorted by name, children
+// in registration order, histograms expanded into cumulative _bucket
+// series plus _sum and _count. It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var total int64
+	cw := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, f := range fams {
+		f.mu.Lock()
+		children := make([]*series, 0, len(f.order))
+		for _, key := range f.order {
+			children = append(children, f.children[key])
+		}
+		f.mu.Unlock()
+
+		if err := cw("# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return total, err
+		}
+		for _, s := range children {
+			switch {
+			case s.f != nil:
+				if err := cw("%s%s %s\n", f.name, labelString(f.labelNames, s.labels, "", ""), formatValue(s.f())); err != nil {
+					return total, err
+				}
+			case s.h != nil:
+				// Read each bucket counter exactly once and derive _count
+				// from those reads: concurrent Observes may land between
+				// loads, but the rendered +Inf bucket always equals the
+				// rendered _count, keeping the exposition's histogram
+				// invariant under any interleaving.
+				cum := uint64(0)
+				for i, bound := range f.buckets {
+					cum += s.h.counts[i].Load()
+					if err := cw("%s_bucket%s %d\n", f.name, labelString(f.labelNames, s.labels, "le", formatValue(bound)), cum); err != nil {
+						return total, err
+					}
+				}
+				cum += s.h.counts[len(f.buckets)].Load()
+				if err := cw("%s_bucket%s %d\n", f.name, labelString(f.labelNames, s.labels, "le", "+Inf"), cum); err != nil {
+					return total, err
+				}
+				if err := cw("%s_sum%s %s\n", f.name, labelString(f.labelNames, s.labels, "", ""), formatValue(s.h.Sum())); err != nil {
+					return total, err
+				}
+				if err := cw("%s_count%s %d\n", f.name, labelString(f.labelNames, s.labels, "", ""), cum); err != nil {
+					return total, err
+				}
+			case s.c != nil:
+				if err := cw("%s%s %s\n", f.name, labelString(f.labelNames, s.labels, "", ""), formatValue(s.c.Value())); err != nil {
+					return total, err
+				}
+			case s.g != nil:
+				if err := cw("%s%s %s\n", f.name, labelString(f.labelNames, s.labels, "", ""), formatValue(s.g.Value())); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// ServeHTTP exposes the registry as a GET /metrics handler with the
+// Prometheus text-format content type.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := r.WriteTo(w); err != nil {
+		// The connection died mid-scrape; nothing useful to do.
+		return
+	}
+}

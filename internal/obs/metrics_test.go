@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrape writes the registry and fails the test on error.
+func scrape(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// parse scrapes and parses, failing the test on either error — the
+// writer/parser round-trip every test in this file leans on.
+func parse(t *testing.T, r *Registry) *Exposition {
+	t.Helper()
+	data := scrape(t, r)
+	exp, err := ParseExposition(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, data)
+	}
+	return exp
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "help")
+	g := r.NewGauge("test_gauge", "help")
+	c.Inc()
+	c.Add(2.5)
+	g.Set(7)
+	g.Add(-3)
+	exp := parse(t, r)
+	if v, ok := exp.Value("test_total", nil); !ok || v != 3.5 {
+		t.Fatalf("counter = %v, %v; want 3.5", v, ok)
+	}
+	if v, ok := exp.Value("test_gauge", nil); !ok || v != 4 {
+		t.Fatalf("gauge = %v, %v; want 4", v, ok)
+	}
+	if exp.Types["test_total"] != "counter" || exp.Types["test_gauge"] != "gauge" {
+		t.Fatalf("types = %v", exp.Types)
+	}
+}
+
+func TestCounterAddNegativePanics(t *testing.T) {
+	c := &Counter{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "help", []float64{1, 2, 4})
+	// le is inclusive: an observation equal to a bound lands in that
+	// bound's bucket.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 8} {
+		h.Observe(v)
+	}
+	exp := parse(t, r)
+	want := map[string]float64{"1": 2, "2": 4, "4": 4, "+Inf": 5}
+	for le, n := range want {
+		if v, ok := exp.Value("test_seconds_bucket", map[string]string{"le": le}); !ok || v != n {
+			t.Fatalf("bucket le=%s = %v, %v; want %v", le, v, ok, n)
+		}
+	}
+	if v, _ := exp.Value("test_seconds_count", nil); v != 5 {
+		t.Fatalf("_count = %v, want 5", v)
+	}
+	if v, _ := exp.Value("test_seconds_sum", nil); v != 13 {
+		t.Fatalf("_sum = %v, want 13", v)
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("test_labeled_total", "help", "path", "code")
+	cv.With(`quote " slash \ newline`+"\n", "200").Add(4)
+	cv.With("/query", "500").Inc()
+	hv := r.NewHistogramVec("test_labeled_seconds", "help", []float64{1}, "strategy")
+	hv.With("lsh").Observe(0.5)
+	exp := parse(t, r)
+	if v, ok := exp.Value("test_labeled_total", map[string]string{
+		"path": `quote " slash \ newline` + "\n", "code": "200",
+	}); !ok || v != 4 {
+		t.Fatalf("escaped-label series = %v, %v; want 4", v, ok)
+	}
+	if v, ok := exp.Value("test_labeled_total", map[string]string{"path": "/query", "code": "500"}); !ok || v != 1 {
+		t.Fatalf("second child = %v, %v; want 1", v, ok)
+	}
+	if v, ok := exp.Value("test_labeled_seconds_bucket", map[string]string{"strategy": "lsh", "le": "1"}); !ok || v != 1 {
+		t.Fatalf("labeled histogram bucket = %v, %v; want 1", v, ok)
+	}
+}
+
+func TestVecWithIsStable(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("test_total", "help", "k")
+	a, b := cv.With("x"), cv.With("x")
+	if a != b {
+		t.Fatal("With(same values) returned distinct children")
+	}
+}
+
+func TestFuncMetricsEvaluatedAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.NewCounterFunc("test_func_total", "help", func() float64 { return v })
+	r.NewGaugeFunc("test_func_gauge", "help", func() float64 { return -v })
+	exp := parse(t, r)
+	if got, _ := exp.Value("test_func_total", nil); got != 1 {
+		t.Fatalf("func counter = %v, want 1", got)
+	}
+	v = 42
+	exp = parse(t, r)
+	if got, _ := exp.Value("test_func_total", nil); got != 42 {
+		t.Fatalf("func counter after change = %v, want 42", got)
+	}
+	if got, _ := exp.Value("test_func_gauge", nil); got != -42 {
+		t.Fatalf("func gauge = %v, want -42", got)
+	}
+}
+
+func TestOnScrapeRunsBeforeWrite(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "help")
+	r.OnScrape(func() { g.Set(9) })
+	exp := parse(t, r)
+	if v, _ := exp.Value("test_gauge", nil); v != 9 {
+		t.Fatalf("gauge = %v; OnScrape hook did not run before write", v)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"duplicate name", func(r *Registry) {
+			r.NewCounter("dup_total", "h")
+			r.NewGauge("dup_total", "h")
+		}},
+		{"invalid metric name", func(r *Registry) { r.NewCounter("0bad", "h") }},
+		{"invalid label name", func(r *Registry) { r.NewCounterVec("ok_total", "h", "bad-label") }},
+		{"histogram le label", func(r *Registry) { r.NewHistogramVec("ok_seconds", "h", []float64{1}, "le") }},
+		{"histogram no buckets", func(r *Registry) { r.NewHistogram("ok_seconds", "h", nil) }},
+		{"histogram unsorted buckets", func(r *Registry) { r.NewHistogram("ok_seconds", "h", []float64{2, 1}) }},
+		{"vec without labels", func(r *Registry) { r.NewCounterVec("ok_total", "h") }},
+		{"wrong label arity", func(r *Registry) { r.NewCounterVec("ok_total", "h", "a", "b").With("only-one") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("did not panic")
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+func TestFamiliesSortedChildrenInRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_total", "h").Inc()
+	cv := r.NewCounterVec("aa_total", "h", "k")
+	cv.With("second-registered-wins-no").Inc()
+	cv.With("alpha").Inc()
+	out := string(scrape(t, r))
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+	if strings.Index(out, "second-registered-wins-no") > strings.Index(out, `k="alpha"`) {
+		t.Fatalf("children not in registration order:\n%s", out)
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("+Inf formatted as %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Fatalf("-Inf formatted as %q", got)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExponentialBuckets(0,2,1) did not panic")
+		}
+	}()
+	ExponentialBuckets(0, 2, 1)
+}
+
+func TestDefaultBucketsStrictlyIncreasing(t *testing.T) {
+	for _, b := range [][]float64{DefLatencyBuckets, RatioBuckets} {
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("bucket slice not strictly increasing at %d: %v", i, b)
+			}
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes drives all metric kinds from many
+// goroutines while scraping; run under -race this is the registry's
+// thread-safety proof, and every interleaved scrape must still lint.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "h")
+	g := r.NewGauge("test_gauge", "h")
+	h := r.NewHistogram("test_seconds", "h", DefLatencyBuckets)
+	cv := r.NewCounterVec("test_labeled_total", "h", "k")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i) * 1e-4)
+				cv.With(lbl).Inc()
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := Lint(scrape(t, r)); err != nil {
+					t.Errorf("mid-update scrape does not lint: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	exp := parse(t, r)
+	if v, _ := exp.Value("test_total", nil); v != workers*perWorker {
+		t.Fatalf("counter = %v, want %d", v, workers*perWorker)
+	}
+	if v, _ := exp.Value("test_seconds_count", nil); v != workers*perWorker {
+		t.Fatalf("histogram count = %v, want %d", v, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if v, _ := exp.Value("test_labeled_total", map[string]string{"k": string(rune('a' + w))}); v != perWorker {
+			t.Fatalf("child %d = %v, want %d", w, v, perWorker)
+		}
+	}
+}
+
+func TestServeHTTPContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_total", "h")
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := Lint(rec.Body.Bytes()); err != nil {
+		t.Fatalf("served body does not lint: %v", err)
+	}
+}

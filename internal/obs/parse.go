@@ -1,0 +1,402 @@
+// Exposition parsing: the lint half of the hand-rolled metrics layer.
+// The writer in metrics.go and this parser are tested against each other
+// (every exposition the registry produces must parse back sample for
+// sample), and cmd/promlint reuses the parser to validate a live
+// server's /metrics output in CI — including counter monotonicity across
+// two scrapes.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a fully-qualified series (name
+// plus sorted labels) and its value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key returns a canonical series identity: the name plus the labels in
+// sorted order. Two scrapes of the same series produce equal keys.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Exposition is one parsed scrape: the declared family types and every
+// sample, in document order.
+type Exposition struct {
+	// Types maps family name -> declared TYPE (counter, gauge,
+	// histogram, summary, untyped).
+	Types map[string]string
+	// Help maps family name -> HELP string.
+	Help map[string]string
+	// Samples holds every value line.
+	Samples []Sample
+}
+
+// Value returns the sample value for the series with the given name and
+// exact label set (nil labels means no labels), and whether it exists.
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	want := Sample{Name: name, Labels: labels}.Key()
+	for _, s := range e.Samples {
+		if s.Key() == want {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses a Prometheus text-format (0.0.4) document,
+// validating as it goes: every non-comment line must be a well-formed
+// sample, metric and label names must match the grammar, HELP/TYPE
+// comments must be well-formed, no series may appear twice, and every
+// sample of a TYPE'd family must appear after its TYPE line. A
+// histogram family must expose consistent cumulative buckets ending in
+// le="+Inf" whose count equals the family's _count series.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	seen := make(map[string]int) // series key -> line number
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, exp); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if prev, dup := seen[s.Key()]; dup {
+			return nil, fmt.Errorf("line %d: series %s already exposed on line %d", lineNo, s.Key(), prev)
+		}
+		seen[s.Key()] = lineNo
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkHistograms(exp); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// parseComment handles # HELP and # TYPE lines (other comments are
+// allowed and ignored).
+func parseComment(line string, exp *Exposition) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare "#" comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		exp.Help[fields[2]] = help
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := exp.Types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		exp.Types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// parseSample parses one value line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after name, got %q", rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseValue parses a sample value, accepting the spec's special floats.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses the inside of a {…} label set.
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabel(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label value for %q not quoted", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		i := 0
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label value for %q", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label value for %q", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = b.String()
+		s = strings.TrimSpace(s[i:])
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return labels, nil
+}
+
+// checkHistograms validates every TYPE'd histogram family: cumulative
+// non-decreasing buckets per child, a le="+Inf" bucket equal to the
+// child's _count, and _sum/_count present.
+func checkHistograms(exp *Exposition) error {
+	for name, typ := range exp.Types {
+		if typ != "histogram" {
+			continue
+		}
+		// Group the family's _bucket samples by their non-le labels.
+		type child struct {
+			bounds []float64
+			counts []float64
+			sum    *float64
+			count  *float64
+		}
+		children := make(map[string]*child)
+		childKey := func(labels map[string]string) string {
+			rest := make(map[string]string, len(labels))
+			for k, v := range labels {
+				if k != "le" {
+					rest[k] = v
+				}
+			}
+			return Sample{Name: name, Labels: rest}.Key()
+		}
+		for i := range exp.Samples {
+			s := &exp.Samples[i]
+			key := childKey(s.Labels)
+			get := func() *child {
+				c, ok := children[key]
+				if !ok {
+					c = &child{}
+					children[key] = c
+				}
+				return c
+			}
+			switch s.Name {
+			case name + "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("histogram %s: _bucket sample without le label", name)
+				}
+				bound, err := parseValue(le)
+				if err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", name, le)
+				}
+				c := get()
+				c.bounds = append(c.bounds, bound)
+				c.counts = append(c.counts, s.Value)
+			case name + "_sum":
+				v := s.Value
+				get().sum = &v
+			case name + "_count":
+				v := s.Value
+				get().count = &v
+			}
+		}
+		if len(children) == 0 {
+			return fmt.Errorf("histogram %s: no samples", name)
+		}
+		for key, c := range children {
+			if c.sum == nil || c.count == nil {
+				return fmt.Errorf("histogram %s (%s): missing _sum or _count", name, key)
+			}
+			if len(c.bounds) == 0 {
+				return fmt.Errorf("histogram %s (%s): no _bucket samples", name, key)
+			}
+			for i := 1; i < len(c.bounds); i++ {
+				if c.bounds[i] <= c.bounds[i-1] {
+					return fmt.Errorf("histogram %s (%s): le bounds not increasing", name, key)
+				}
+				if c.counts[i] < c.counts[i-1] {
+					return fmt.Errorf("histogram %s (%s): bucket counts not cumulative", name, key)
+				}
+			}
+			if !math.IsInf(c.bounds[len(c.bounds)-1], 1) {
+				return fmt.Errorf("histogram %s (%s): last bucket is not le=\"+Inf\"", name, key)
+			}
+			if c.counts[len(c.counts)-1] != *c.count {
+				return fmt.Errorf("histogram %s (%s): +Inf bucket %v != _count %v", name, key, c.counts[len(c.counts)-1], *c.count)
+			}
+		}
+	}
+	return nil
+}
+
+// Lint parses data as a text exposition and returns the first
+// validation error, if any.
+func Lint(data []byte) error {
+	_, err := ParseExposition(strings.NewReader(string(data)))
+	return err
+}
+
+// CheckMonotonic compares two scrapes of the same registry and returns
+// an error if any counter series (including histogram _bucket/_sum/
+// _count series) decreased from prev to cur. Series present in prev but
+// absent in cur are an error too — counters never disappear.
+func CheckMonotonic(prev, cur *Exposition) error {
+	isCounterSeries := func(s Sample) bool {
+		if t, ok := prev.Types[s.Name]; ok && t == "counter" {
+			return true
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suffix)
+			if base != s.Name && prev.Types[base] == "histogram" {
+				return true
+			}
+		}
+		return false
+	}
+	curByKey := make(map[string]float64, len(cur.Samples))
+	for _, s := range cur.Samples {
+		curByKey[s.Key()] = s.Value
+	}
+	for _, s := range prev.Samples {
+		if !isCounterSeries(s) {
+			continue
+		}
+		now, ok := curByKey[s.Key()]
+		if !ok {
+			return fmt.Errorf("counter series %s disappeared between scrapes", s.Key())
+		}
+		if now < s.Value {
+			return fmt.Errorf("counter series %s decreased: %v -> %v", s.Key(), s.Value, now)
+		}
+	}
+	return nil
+}

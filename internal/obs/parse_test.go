@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, doc string
+	}{
+		{"garbage line", "not a metric line at all !!!\n"},
+		{"no value", "lonely_name\n"},
+		{"bad value", "m 12abc\n"},
+		{"invalid name", "9bad 1\n"},
+		{"unterminated labels", `m{k="v" 1` + "\n"},
+		{"unquoted label value", "m{k=v} 1\n"},
+		{"bad escape", `m{k="\q"} 1` + "\n"},
+		{"invalid label name", `m{bad-name="v"} 1` + "\n"},
+		{"duplicate label", `m{k="a",k="b"} 1` + "\n"},
+		{"duplicate series", "m 1\nm 2\n"},
+		{"duplicate series labeled", `m{k="v"} 1` + "\n" + `m{ k="v" } 2` + "\n"},
+		{"malformed TYPE", "# TYPE only_name\n"},
+		{"unknown TYPE", "# TYPE m zigzag\n"},
+		{"duplicate TYPE", "# TYPE m counter\n# TYPE m counter\n"},
+		{"malformed HELP", "# HELP\n"},
+		{"bad timestamp", "m 1 12.5\n"},
+		{"histogram without +Inf", strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 1`,
+			"h_sum 1",
+			"h_count 1",
+		}, "\n") + "\n"},
+		{"histogram non-cumulative", strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 5`,
+			`h_bucket{le="+Inf"} 3`,
+			"h_sum 1",
+			"h_count 3",
+		}, "\n") + "\n"},
+		{"histogram +Inf != count", strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 1`,
+			`h_bucket{le="+Inf"} 2`,
+			"h_sum 1",
+			"h_count 9",
+		}, "\n") + "\n"},
+		{"histogram missing sum", strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="+Inf"} 1`,
+			"h_count 1",
+		}, "\n") + "\n"},
+		{"histogram no samples", "# TYPE h histogram\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Lint([]byte(tc.doc)); err == nil {
+				t.Fatalf("linted clean:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+func TestParseAcceptsSpecFeatures(t *testing.T) {
+	doc := strings.Join([]string{
+		"# a free-form comment",
+		"#",
+		"# HELP m Help text with \\n escapes and trailing words.",
+		"# TYPE m counter",
+		"m 17 1395066363000", // timestamp is legal and ignored
+		"# TYPE g gauge",
+		"g -0.25",
+		"inf_series +Inf",
+		"nan_series NaN",
+		`esc{v="a\"b\\c\nd"} 1`,
+		"",
+	}, "\n")
+	exp, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := exp.Value("m", nil); !ok || v != 17 {
+		t.Fatalf("m = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("esc", map[string]string{"v": "a\"b\\c\nd"}); !ok || v != 1 {
+		t.Fatalf("escaped labels not decoded: %v, %v", v, ok)
+	}
+	if exp.Help["m"] == "" {
+		t.Fatal("HELP text not captured")
+	}
+}
+
+func TestSampleKeyCanonical(t *testing.T) {
+	a := Sample{Name: "m", Labels: map[string]string{"b": "2", "a": "1"}}
+	b := Sample{Name: "m", Labels: map[string]string{"a": "1", "b": "2"}}
+	if a.Key() != b.Key() {
+		t.Fatalf("label order changed key: %q vs %q", a.Key(), b.Key())
+	}
+	c := Sample{Name: "m", Labels: map[string]string{"a": "1", "b": "3"}}
+	if a.Key() == c.Key() {
+		t.Fatal("different label values share a key")
+	}
+}
+
+func TestCheckMonotonic(t *testing.T) {
+	mustParse := func(doc string) *Exposition {
+		t.Helper()
+		exp, err := ParseExposition(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return exp
+	}
+	prev := mustParse(strings.Join([]string{
+		"# TYPE c counter",
+		`c{k="a"} 5`,
+		"# TYPE g gauge",
+		"g 100",
+		"# TYPE h histogram",
+		`h_bucket{le="+Inf"} 3`,
+		"h_sum 1.5",
+		"h_count 3",
+	}, "\n") + "\n")
+
+	ok := mustParse(strings.Join([]string{
+		"# TYPE c counter",
+		`c{k="a"} 6`,
+		"# TYPE g gauge",
+		"g 1", // gauges may fall freely
+		"# TYPE h histogram",
+		`h_bucket{le="+Inf"} 4`,
+		"h_sum 2.5",
+		"h_count 4",
+	}, "\n") + "\n")
+	if err := CheckMonotonic(prev, ok); err != nil {
+		t.Fatalf("monotonic scrape flagged: %v", err)
+	}
+
+	decreased := mustParse(strings.Join([]string{
+		"# TYPE c counter",
+		`c{k="a"} 4`,
+		"# TYPE g gauge",
+		"g 100",
+		"# TYPE h histogram",
+		`h_bucket{le="+Inf"} 3`,
+		"h_sum 1.5",
+		"h_count 3",
+	}, "\n") + "\n")
+	if err := CheckMonotonic(prev, decreased); err == nil {
+		t.Fatal("decreasing counter not flagged")
+	}
+
+	vanished := mustParse(strings.Join([]string{
+		"# TYPE c counter",
+		`c{k="b"} 9`,
+		"# TYPE g gauge",
+		"g 100",
+		"# TYPE h histogram",
+		`h_bucket{le="+Inf"} 3`,
+		"h_sum 1.5",
+		"h_count 3",
+	}, "\n") + "\n")
+	if err := CheckMonotonic(prev, vanished); err == nil {
+		t.Fatal("disappearing counter series not flagged")
+	}
+
+	shrunkHist := mustParse(strings.Join([]string{
+		"# TYPE c counter",
+		`c{k="a"} 5`,
+		"# TYPE g gauge",
+		"g 100",
+		"# TYPE h histogram",
+		`h_bucket{le="+Inf"} 2`,
+		"h_sum 1",
+		"h_count 2",
+	}, "\n") + "\n")
+	if err := CheckMonotonic(prev, shrunkHist); err == nil {
+		t.Fatal("decreasing histogram bucket not flagged")
+	}
+}

@@ -63,6 +63,15 @@ type shardState[P any] struct {
 	ix        core.Store[P]
 	ids       []int32 // ids[local] = global id
 	compactMu sync.Mutex
+
+	// Observability counters, cumulative over the shard's lifetime
+	// (compaction swaps the index but keeps the counters): queries
+	// answered by this shard, the summed estimate+search time they cost
+	// here (the fan-out latency attribution — which shard the query
+	// budget actually goes to), and points appended.
+	queries    atomic.Int64
+	queryNanos atomic.Int64
+	appends    atomic.Int64
 }
 
 // DefaultCompactionThreshold is the dead-point ratio above which Delete
@@ -359,6 +368,17 @@ func (s *Sharded[P]) Probing() bool { return s.probing }
 // overrides (covering shard indexes).
 func (s *Sharded[P]) RadiusCapable() bool { return s.radiusCapable }
 
+// Cost returns the cost model the shards decide with. All shards share
+// one calibration (New passes the same Config to every builder), so
+// shard 0's model speaks for the structure; serving layers attach its
+// α/β terms to query decision traces.
+func (s *Sharded[P]) Cost() core.CostModel {
+	st := s.shards[0]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.ix.Cost()
+}
+
 // QueryRadius is Query with a per-shard radius override: every shard
 // answers via core.RadiusQuerier.QueryRadius(q, r) — the report covers
 // radius r instead of each shard's built radius (r < 0 restores the
@@ -416,6 +436,8 @@ func (s *Sharded[P]) fanOut(q P, run func(ix core.Store[P], q P) ([]int32, core.
 				global[i] = st.ids[id]
 			}
 			st.mu.RUnlock()
+			st.queries.Add(1)
+			st.queryNanos.Add(int64(qs.TotalTime()))
 			parts[j] = global
 			stats.PerShard[j] = qs
 		}(j, st)
@@ -570,6 +592,7 @@ func (s *Sharded[P]) Append(points []P) ([]int32, error) {
 		ids[i] = base + int32(i)
 	}
 	target.ids = append(target.ids, ids...)
+	target.appends.Add(int64(len(points)))
 	// Record the new ids' owning shard before publishing them through
 	// nextID, so Delete never sees an id without an owners entry.
 	s.tombMu.Lock()
@@ -817,15 +840,34 @@ type Stats struct {
 	// CompactionsTotal sums them.
 	Compactions      []int64
 	CompactionsTotal int64
+	// ShardQueries[j] counts queries shard j answered (every fan-out
+	// touches every shard, so these normally move in lockstep; they
+	// diverge only across membership changes). ShardQueryNanos[j] is the
+	// summed estimate+search time shard j spent answering — the fan-out
+	// latency attribution: dividing by ShardQueries gives the mean
+	// per-shard cost, and a shard far above its peers is the fan-out's
+	// critical path. ShardAppends[j] counts points appended to shard j
+	// since construction (build-time points are not included).
+	ShardQueries    []int64
+	ShardQueryNanos []int64
+	ShardAppends    []int64
 }
 
 // Stats snapshots the topology.
 func (s *Sharded[P]) Stats() Stats {
 	st := Stats{
-		Shards:     len(s.shards),
-		ShardSizes: s.ShardSizes(),
-		Live:       s.N(),
-		Tombstones: s.Deleted(),
+		Shards:          len(s.shards),
+		ShardSizes:      s.ShardSizes(),
+		Live:            s.N(),
+		Tombstones:      s.Deleted(),
+		ShardQueries:    make([]int64, len(s.shards)),
+		ShardQueryNanos: make([]int64, len(s.shards)),
+		ShardAppends:    make([]int64, len(s.shards)),
+	}
+	for j, sh := range s.shards {
+		st.ShardQueries[j] = sh.queries.Load()
+		st.ShardQueryNanos[j] = sh.queryNanos.Load()
+		st.ShardAppends[j] = sh.appends.Load()
 	}
 	s.tombMu.RLock()
 	st.DeadInBuckets = append([]int(nil), s.shardDead...)
