@@ -12,6 +12,8 @@
 //	hybridbench -exp multiprobe        # multi-probe T vs L at fixed recall
 //	hybridbench -exp covering          # covering LSH: guaranteed recall vs classic Hamming
 //	hybridbench -exp serve             # serving-layer observability overhead (bare vs instrumented)
+//	hybridbench -exp recal             # drift injection: online α/β refit vs a stale cost model
+//	hybridbench -exp cache             # result cache: Zipf traffic, cached vs uncached p50
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, recal, cache, all")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
 		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
@@ -108,6 +110,10 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return coveringExp(cfg, rep)
 	case "serve":
 		return serveExp(cfg, rep)
+	case "recal":
+		return recalExp(cfg, rep)
+	case "cache":
+		return cacheExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -141,10 +147,50 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		if err := coveringExp(cfg, rep); err != nil {
 			return err
 		}
-		return serveExp(cfg, rep)
+		if err := serveExp(cfg, rep); err != nil {
+			return err
+		}
+		if err := recalExp(cfg, rep); err != nil {
+			return err
+		}
+		return cacheExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// recalExp runs the drift-loop experiment: inject a stale cost model,
+// let the recalibrator refit α/β from the drift windows alone, and
+// report how much decision agreement with a fresh calibration returns.
+func recalExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.RecalExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Recalibration — decision agreement with a fresh model, stale vs refitted")
+	bench.PrintRecal(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddRecal(res)
+	}
+	return nil
+}
+
+// cacheExp runs the result-cache experiment: Zipf-skewed repeated
+// traffic, cached vs uncached latency, with answer-equivalence and
+// delete-invalidation gates.
+func cacheExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.CacheExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Result cache — Zipf traffic, cached vs uncached query path")
+	bench.PrintCache(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddCache(res)
+	}
+	return nil
 }
 
 // serveExp runs the observability-overhead experiment: the raw sharded

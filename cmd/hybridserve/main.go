@@ -15,9 +15,36 @@
 //	POST /append   {"points": [[...], ...]}       -> assigned ids
 //	POST /delete   {"ids": [...]}                 -> tombstone count
 //	POST /compact  {"shard": j} or empty body     -> drop tombstoned points from buckets
+//	POST /recalibrate                             -> force a cost-model refit from the drift windows
 //	POST /snapshot                                -> persist to the -snapshot path
-//	GET  /stats    topology, strategy mix, compactions, drift, p50/p95/p99 latency
+//	GET  /stats    topology, strategy mix, compactions, drift, recalibration, cache, latency
 //	GET  /metrics  Prometheus text exposition of the same telemetry
+//
+// # Closing the drift loop
+//
+// The drift monitor (PR 6) measures whether the calibrated α/β still
+// describe this machine; -recalibrate=auto (the default) acts on that
+// signal: once both strategies' ns-per-cost-unit windows are full and
+// their time_ratio sits outside a ±25% dead band, the server refits
+// α' = α·p50(LSH ns/cost), β' = β·p50(linear ns/cost), swaps the model
+// into every shard atomically (queries never pause), bumps
+// hybridlsh_cost_refits_total, resets the drift windows (they are
+// denominated in the old constants) and logs old → new. The windows are
+// also reset whenever a compaction lands, so a refit never triggers on
+// evidence that straddles a bucket rewrite. POST /recalibrate forces a
+// refit immediately; -recalibrate=off disables both paths. Snapshots
+// always persist the *current* model, so a warm restart keeps its
+// refitted constants.
+//
+// -cache N puts an N-entry LRU result cache in front of the fan-out:
+// a repeated query (bit-identical point, same probe/radius override) is
+// answered without touching any shard or deciding a strategy. Entries
+// are stamped with per-shard generation counters bumped on every
+// Append/Delete/Compact/refit, so a cached answer is never served
+// across a mutation — tombstoned ids cannot resurrect and new points
+// cannot be missed. Hits are marked "cached": true in responses, skip
+// the drift windows (they would poison the refitter's timing samples),
+// and show up in hybridlsh_cache_{hits,misses,invalidations}_total.
 //
 // # Observability
 //
@@ -163,6 +190,10 @@ func main() {
 		"log every Nth answered query's full decision trace as a structured JSON line (0 = off)")
 	flag.StringVar(&cfg.pprofAddr, "pprof", cfg.pprofAddr,
 		"serve net/http/pprof on this separate address (empty = off; keep it private)")
+	flag.StringVar(&cfg.recalibrate, "recalibrate", cfg.recalibrate,
+		"online cost-model recalibration: auto refits alpha/beta when drift leaves the dead band and enables POST /recalibrate, off disables both")
+	flag.IntVar(&cfg.cacheSize, "cache", cfg.cacheSize,
+		"result-cache entry capacity; repeated queries are answered from an LRU invalidated on every mutation (0 = off)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -248,6 +279,8 @@ type config struct {
 	coverRadius   int
 	traceSample   int
 	pprofAddr     string
+	recalibrate   string
+	cacheSize     int
 }
 
 func defaultConfig() config {
@@ -262,6 +295,7 @@ func defaultConfig() config {
 		window:        4096,
 		maxBody:       8 << 20,
 		compactThresh: shard.DefaultCompactionThreshold,
+		recalibrate:   "auto",
 	}
 }
 
@@ -287,6 +321,8 @@ type backend interface {
 	topo() shard.Stats
 	maxWorkers() int
 	cost() core.CostModel
+	setCost(c core.CostModel) error
+	enableCache(entries int) error
 }
 
 // server wires a backend to the HTTP API plus serving telemetry.
@@ -317,7 +353,18 @@ type server struct {
 	reg     *obs.Registry
 	metrics *obs.ServerMetrics
 	sampled atomic.Int64
+	// recal is the drift-loop actor (nil with -recalibrate=off): it
+	// refits α/β from the drift windows when time_ratio leaves the dead
+	// band, and backs POST /recalibrate. recalTick paces the piggybacked
+	// auto check to every recalEvery answered queries.
+	recal     *obs.Recalibrator
+	recalTick atomic.Int64
 }
+
+// recalEvery is how many answered queries pass between piggybacked
+// auto-recalibration checks; the check itself is a couple of window
+// snapshots, so this only bounds Stats() traffic.
+const recalEvery = 64
 
 func newServer(cfg config) (*server, error) {
 	if cfg.shards < 1 {
@@ -362,6 +409,12 @@ func newServer(cfg config) (*server, error) {
 	if cfg.traceSample < 0 {
 		return nil, fmt.Errorf("trace-sample = %d, want >= 0 (0 disables)", cfg.traceSample)
 	}
+	if cfg.recalibrate != "off" && cfg.recalibrate != "auto" {
+		return nil, fmt.Errorf("recalibrate = %q, want off or auto", cfg.recalibrate)
+	}
+	if cfg.cacheSize < 0 {
+		return nil, fmt.Errorf("cache = %d, want >= 0 (0 disables)", cfg.cacheSize)
+	}
 	loadedFrom := ""
 	be, err := loadBackend(&cfg)
 	if err != nil {
@@ -381,13 +434,13 @@ func newServer(cfg config) (*server, error) {
 			if err != nil {
 				return nil, err
 			}
-			be = &engine[hybridlsh.Dense]{sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim), probes: ix.Probes()}
+			be = &engine[hybridlsh.Dense]{cacheKey: hybridlsh.Dense.CacheKey, sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim), probes: ix.Probes()}
 		case cfg.metric == "l2":
 			ix, err := hybridlsh.NewShardedL2Index(seedDense(cfg.n, cfg.dim, cfg.seed), cfg.radius, opts...)
 			if err != nil {
 				return nil, err
 			}
-			be = &engine[hybridlsh.Dense]{sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim)}
+			be = &engine[hybridlsh.Dense]{cacheKey: hybridlsh.Dense.CacheKey, sh: ix.Sharded, metric: persist.MetricL2, parse: parseDense(cfg.dim)}
 		case cfg.metric == "hamming" && cfg.coverRadius > 0:
 			// Covering mode ignores -tables: the table count is forced to
 			// 2^(r+1)−1 by the radius.
@@ -396,24 +449,35 @@ func newServer(cfg config) (*server, error) {
 			if err != nil {
 				return nil, err
 			}
-			be = &engine[hybridlsh.Binary]{sh: ix.Sharded, metric: persist.MetricHamming,
+			be = &engine[hybridlsh.Binary]{cacheKey: hybridlsh.Binary.CacheKey, sh: ix.Sharded, metric: persist.MetricHamming,
 				parse: parseBinary(cfg.dim), radius: ix.Radius(), writeSnap: persist.WriteShardedCovering}
 		case cfg.metric == "hamming":
 			ix, err := hybridlsh.NewShardedHammingIndex(seedBinary(cfg.n, cfg.dim, cfg.seed), cfg.radius, opts...)
 			if err != nil {
 				return nil, err
 			}
-			be = &engine[hybridlsh.Binary]{sh: ix.Sharded, metric: persist.MetricHamming, parse: parseBinary(cfg.dim)}
+			be = &engine[hybridlsh.Binary]{cacheKey: hybridlsh.Binary.CacheKey, sh: ix.Sharded, metric: persist.MetricHamming, parse: parseBinary(cfg.dim)}
 		default:
 			return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
 		}
 	}
 	be.autoCompact(cfg.compactThresh)
+	if cfg.cacheSize > 0 {
+		// Both boot paths — synthetic build and snapshot load — pass
+		// through here, so a warm restart keeps its cache too.
+		if err := be.enableCache(cfg.cacheSize); err != nil {
+			return nil, err
+		}
+	}
 	srv := &server{cfg: cfg, be: be, loadedFrom: loadedFrom, lat: stats.NewRecorder(cfg.window), start: time.Now()}
 	srv.reg = obs.NewRegistry()
 	srv.metrics = obs.NewServerMetrics(srv.reg, cfg.window)
 	obs.RegisterTopology(srv.reg, be.topo)
 	obs.RegisterLatencyRecorder(srv.reg, srv.lat)
+	if cfg.recalibrate == "auto" {
+		srv.recal = obs.NewRecalibrator(srv.reg, srv.metrics.Drift, be.cost, be.setCost,
+			obs.RecalibratorConfig{}, log.Printf)
+	}
 	srv.reg.NewGaugeVec("hybridlsh_info",
 		"Serving configuration (always 1); the labels carry the mode.", "metric", "mode").
 		With(cfg.metric, srv.modeName()).Set(1)
@@ -471,7 +535,7 @@ func loadBackend(cfg *config) (backend, error) {
 			return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, err)
 		}
 		meta = m
-		be = &engine[hybridlsh.Dense]{sh: sh, metric: persist.MetricL2, parse: parseDense(m.Dim), probes: m.Probes}
+		be = &engine[hybridlsh.Dense]{cacheKey: hybridlsh.Dense.CacheKey, sh: sh, metric: persist.MetricL2, parse: parseDense(m.Dim), probes: m.Probes}
 	case "hamming":
 		sh, m, err := persist.ReadSharded[hybridlsh.Binary](br, persist.MetricHamming)
 		if errors.Is(err, persist.ErrCoverMode) {
@@ -485,7 +549,7 @@ func loadBackend(cfg *config) (backend, error) {
 				return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, cerr)
 			}
 			meta = cm
-			be = &engine[hybridlsh.Binary]{sh: csh, metric: persist.MetricHamming,
+			be = &engine[hybridlsh.Binary]{cacheKey: hybridlsh.Binary.CacheKey, sh: csh, metric: persist.MetricHamming,
 				parse: parseBinary(cm.Dim), radius: cm.CoverRadius, writeSnap: persist.WriteShardedCovering}
 			break
 		}
@@ -493,7 +557,7 @@ func loadBackend(cfg *config) (backend, error) {
 			return nil, fmt.Errorf("loading %s: %w", cfg.snapshot, err)
 		}
 		meta = m
-		be = &engine[hybridlsh.Binary]{sh: sh, metric: persist.MetricHamming, parse: parseBinary(m.Dim)}
+		be = &engine[hybridlsh.Binary]{cacheKey: hybridlsh.Binary.CacheKey, sh: sh, metric: persist.MetricHamming, parse: parseBinary(m.Dim)}
 	default:
 		return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
 	}
@@ -619,6 +683,7 @@ type queryResult struct {
 	Collisions   int             `json:"collisions"`
 	Candidates   int             `json:"candidates"`
 	WallUS       float64         `json:"wall_us"`
+	Cached       bool            `json:"cached,omitempty"`
 	Probes       *int            `json:"probes,omitempty"`
 	Radius       *int            `json:"radius,omitempty"`
 	Trace        *obs.QueryTrace `json:"trace,omitempty"`
@@ -637,6 +702,7 @@ func toResult(ids []int32, st shard.QueryStats) *queryResult {
 		Collisions:   st.Collisions,
 		Candidates:   st.Candidates,
 		WallUS:       float64(st.WallTime.Microseconds()),
+		Cached:       st.CacheHit,
 		stats:        st,
 	}
 }
@@ -653,6 +719,7 @@ type engine[P any] struct {
 	probes    int
 	radius    int
 	writeSnap func(w io.Writer, sh *shard.Sharded[P]) (int64, error)
+	cacheKey  func(P) string // exact query encoding for -cache (see shard.EnableCache)
 }
 
 // resolveProbes maps a request's optional probe override to the
@@ -839,6 +906,16 @@ func (e *engine[P]) topo() shard.Stats { return e.sh.Stats() }
 
 func (e *engine[P]) cost() core.CostModel { return e.sh.Cost() }
 
+// setCost swaps the cost model on every shard atomically; queries keep
+// flowing through the swap (see shard.Sharded.SetCost).
+func (e *engine[P]) setCost(c core.CostModel) error { return e.sh.SetCost(c) }
+
+// enableCache installs the result cache; called during boot, before the
+// listener starts taking traffic.
+func (e *engine[P]) enableCache(entries int) error {
+	return e.sh.EnableCache(entries, e.cacheKey)
+}
+
 // record folds one answered query into the serving telemetry.
 func (s *server) record(r *queryResult) {
 	s.queries.Add(1)
@@ -859,6 +936,14 @@ func (s *server) record(r *queryResult) {
 		}
 	}
 	s.metrics.RecordQuery(r.stats)
+	// Piggyback the drift-loop maintenance on the record path: note
+	// compactions (resetting stale windows) and run the dead-band check.
+	// Cache hits carry no per-shard stats, so they never feed the drift
+	// windows the refitter reads — only genuine fan-out timings do.
+	if s.recal != nil && s.recalTick.Add(1)%recalEvery == 0 {
+		s.recal.NoteCompactions(s.be.topo().CompactionsTotal)
+		s.recal.Check()
+	}
 	if n := s.cfg.traceSample; n > 0 && s.sampled.Add(1)%int64(n) == 0 {
 		if b, err := json.Marshal(s.traceOf(r)); err == nil {
 			log.Printf("hybridserve: trace %s", b)
@@ -882,6 +967,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("POST /delete", s.handleDelete)
 	mux.HandleFunc("POST /compact", s.handleCompact)
+	mux.HandleFunc("POST /recalibrate", s.handleRecalibrate)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg)
@@ -1064,6 +1150,40 @@ func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleRecalibrate forces an immediate cost-model refit from the
+// current drift windows, bypassing the auto policy's dead band and
+// sample floor — the operator's "I know the machine changed" lever. It
+// still needs evidence: both strategies must have been observed since
+// the last window reset, and a refit that would produce a degenerate
+// model is rejected (409) with the serving model left untouched.
+// Disabled together with the auto policy by -recalibrate=off.
+func (s *server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
+	if s.recal == nil {
+		writeErr(w, http.StatusBadRequest, errors.New("recalibration disabled: start the server with -recalibrate=auto"))
+		return
+	}
+	old, next, err := s.recal.Force()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	log.Printf("hybridserve: forced recalibration: alpha %.3f -> %.3f, beta %.3f -> %.3f", old.Alpha, next.Alpha, old.Beta, next.Beta)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"old":          costJSON(old),
+		"new":          costJSON(next),
+		"refits_total": s.recal.Refits(),
+	})
+}
+
+// costJSON renders a cost model for /stats and /recalibrate responses.
+func costJSON(c core.CostModel) map[string]any {
+	return map[string]any{
+		"alpha_ns":        c.Alpha,
+		"beta_ns":         c.Beta,
+		"beta_over_alpha": c.BetaOverAlpha(),
+	}
+}
+
 // handleSnapshot persists the index to the operator-configured
 // -snapshot path. The path deliberately cannot come from the request:
 // accepting one would hand every HTTP client an arbitrary-file-write
@@ -1106,6 +1226,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cover["covered_queries"] = s.coverQueries.Load()
 		cover["override_queries"] = s.coverOverrides.Load()
 	}
+	recal := map[string]any{"enabled": s.recal != nil, "cost": costJSON(s.be.cost())}
+	if s.recal != nil {
+		recal["dead_band"] = s.recal.DeadBand()
+		recal["min_samples"] = s.recal.MinSamples()
+		recal["refits_total"] = s.recal.Refits()
+	}
+	cache := map[string]any{"enabled": topo.CacheEnabled}
+	if topo.CacheEnabled {
+		cache["capacity"] = topo.CacheCapacity
+		cache["entries"] = topo.CacheEntries
+		cache["hits"] = topo.CacheHits
+		cache["misses"] = topo.CacheMisses
+		cache["invalidations"] = topo.CacheInvalidations
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"metric":       s.cfg.metric,
 		"dim":          s.cfg.dim,
@@ -1130,9 +1264,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"lsh_shard_answers":    s.lshAns.Load(),
 			"linear_shard_answers": s.linAns.Load(),
 		},
-		"multiprobe": multiprobe,
-		"covering":   cover,
-		"drift":      s.metrics.Drift.Snapshot(),
+		"multiprobe":    multiprobe,
+		"covering":      cover,
+		"recalibration": recal,
+		"cache":         cache,
+		"drift":         s.metrics.Drift.Snapshot(),
 		"latency_us": map[string]any{
 			"p50":   p[0],
 			"p95":   p[1],
@@ -1148,6 +1284,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *server) logFinalMetrics() {
 	topo := s.be.topo()
 	d := s.metrics.Drift.Snapshot()
+	refits := int64(0)
+	if s.recal != nil {
+		refits = s.recal.Refits()
+	}
 	b, err := json.Marshal(map[string]any{
 		"queries":              s.queries.Load(),
 		"lsh_shard_answers":    s.lshAns.Load(),
@@ -1157,6 +1297,8 @@ func (s *server) logFinalMetrics() {
 		"compactions_total":    topo.CompactionsTotal,
 		"estimate_error_p50":   d.EstimateError.P50,
 		"drift_time_ratio":     d.TimeRatio,
+		"cost_refits_total":    refits,
+		"cache_hits":           topo.CacheHits,
 		"uptime_sec":           time.Since(s.start).Seconds(),
 	})
 	if err != nil {

@@ -113,5 +113,10 @@ func NewShardedCoveringHammingIndex(points []Binary, opts ...Option) (*ShardedCo
 	if o.compactThresh != 0 {
 		s.SetAutoCompact(o.compactThresh)
 	}
+	if o.cacheSize != 0 {
+		if err := s.EnableCache(o.cacheSize, Binary.CacheKey); err != nil {
+			return nil, err
+		}
+	}
 	return &ShardedCoveringHammingIndex{Sharded: s, radius: r}, nil
 }

@@ -47,6 +47,8 @@ type JSONReport struct {
 	MultiProbe *MultiProbeResult `json:"multiprobe,omitempty"`
 	Covering   *CoveringResult   `json:"covering,omitempty"`
 	Serve      *ServeResult      `json:"serve,omitempty"`
+	Recal      *RecalResult      `json:"recal,omitempty"`
+	Cache      *CacheResult      `json:"cache,omitempty"`
 }
 
 // NewJSONReport starts an empty report for the given configuration,
@@ -89,6 +91,13 @@ func (r *JSONReport) AddCovering(res *CoveringResult) { r.Covering = res }
 // AddServe records the serving-layer observability-overhead experiment
 // of the run.
 func (r *JSONReport) AddServe(res *ServeResult) { r.Serve = res }
+
+// AddRecal records the drift-injection recalibration experiment of the
+// run.
+func (r *JSONReport) AddRecal(res *RecalResult) { r.Recal = res }
+
+// AddCache records the result-cache experiment of the run.
+func (r *JSONReport) AddCache(res *CacheResult) { r.Cache = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

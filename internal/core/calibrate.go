@@ -1,11 +1,21 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/distance"
 	"repro/internal/rng"
 )
+
+// ErrDegenerateCalibration is returned (wrapped) by CalibrateChecked when
+// the timed loops ran faster than the clock can resolve, so at least one
+// measured constant came out non-positive and the result is a floor
+// fallback rather than a measurement. Callers that adopt cost models
+// programmatically — the online refitter above all — must treat such a
+// model as meaningless instead of silently serving with β/α = 1.
+var ErrDegenerateCalibration = errors.New("core: degenerate calibration timings (clock granularity); constants are floor fallbacks, not measurements")
 
 // Calibrate measures the cost-model constants on this machine for a given
 // point type and distance function, mirroring the paper's procedure ("we
@@ -21,7 +31,22 @@ import (
 // The returned CostModel is expressed in nanoseconds; only the β/α ratio
 // matters to the decision rule. queries and sample default to the paper's
 // 100 and 10,000 when 0.
+//
+// Degenerate timings (clock granularity on very fast ops) are floored so
+// the model stays Valid, but such a model carries no information — use
+// CalibrateChecked when the outcome decides whether to adopt the model.
 func Calibrate[P any](points []P, dist distance.Func[P], queries, sample int, seed uint64) CostModel {
+	c, _ := CalibrateChecked(points, dist, queries, sample, seed)
+	return c
+}
+
+// CalibrateChecked is Calibrate with the degenerate-timing fallback
+// surfaced: when either constant had to be floored (see
+// ErrDegenerateCalibration) the floored-but-Valid model is returned
+// together with the error, so callers choose between logging-and-serving
+// and refusing to adopt it. A nil error means both constants are genuine
+// measurements.
+func CalibrateChecked[P any](points []P, dist distance.Func[P], queries, sample int, seed uint64) (CostModel, error) {
 	if queries <= 0 {
 		queries = 100
 	}
@@ -92,17 +117,28 @@ func Calibrate[P any](points []P, dist distance.Func[P], queries, sample int, se
 		}
 	}
 	alpha := float64(time.Since(t1).Nanoseconds()) / float64(dups)
+	_ = sink
+	return checkCalibration(alpha, beta)
+}
 
-	// Degenerate timings (clock granularity on very fast ops) fall back to
-	// a floor so the model stays valid.
+// checkCalibration applies the degenerate-timing floors and reports
+// whether it had to: a non-positive α or β means the timed loop beat the
+// clock's resolution, so the floored model (α = 0.5, β = α ⇒ β/α = 1) is
+// a placeholder, not a measurement. Split out of CalibrateChecked so the
+// fallback policy is testable without racing a real clock.
+func checkCalibration(alpha, beta float64) (CostModel, error) {
+	var err error
 	if alpha <= 0 {
 		alpha = 0.5
+		err = fmt.Errorf("%w: alpha <= 0", ErrDegenerateCalibration)
 	}
 	if beta <= 0 {
 		beta = alpha
+		if err == nil {
+			err = fmt.Errorf("%w: beta <= 0", ErrDegenerateCalibration)
+		}
 	}
-	_ = sink
-	return CostModel{Alpha: alpha, Beta: beta}
+	return CostModel{Alpha: alpha, Beta: beta}, err
 }
 
 // BetaOverAlpha is a convenience accessor for the calibrated ratio the

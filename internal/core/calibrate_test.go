@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+func TestCheckCalibrationFlagsDegenerateTimings(t *testing.T) {
+	cases := []struct {
+		name        string
+		alpha, beta float64
+		want        CostModel
+		degenerate  bool
+	}{
+		{"both measured", 1.5, 3, CostModel{Alpha: 1.5, Beta: 3}, false},
+		{"alpha floored", 0, 5, CostModel{Alpha: 0.5, Beta: 5}, true},
+		{"alpha negative", -1, 5, CostModel{Alpha: 0.5, Beta: 5}, true},
+		{"beta floored to alpha", 2, 0, CostModel{Alpha: 2, Beta: 2}, true},
+		{"both floored", 0, 0, CostModel{Alpha: 0.5, Beta: 0.5}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := checkCalibration(tc.alpha, tc.beta)
+			if got != tc.want {
+				t.Fatalf("checkCalibration(%v, %v) = %+v, want %+v", tc.alpha, tc.beta, got, tc.want)
+			}
+			if tc.degenerate {
+				if !errors.Is(err, ErrDegenerateCalibration) {
+					t.Fatalf("err = %v, want ErrDegenerateCalibration", err)
+				}
+			} else if err != nil {
+				t.Fatalf("unexpected error for measured constants: %v", err)
+			}
+			// Floored or not, the returned model must always be servable —
+			// the fallback exists so Calibrate never hands out a model that
+			// NewIndex would reject.
+			if !got.Usable() {
+				t.Fatalf("checkCalibration(%v, %v) = %+v is not usable", tc.alpha, tc.beta, got)
+			}
+		})
+	}
+}
+
+func TestCalibrateCheckedAgreesWithCalibrate(t *testing.T) {
+	w := makeWorkload(2000, 200, 64, 2, 13)
+	cm, err := CalibrateChecked(w.points, distance.Hamming, 20, 1000, 1)
+	if !cm.Usable() {
+		t.Fatalf("CalibrateChecked returned unusable model %+v", cm)
+	}
+	// The error channel carries exactly one condition: floored constants.
+	// Whether it fires depends on the clock, but when it does the model
+	// must still be the documented floor fallback, not garbage.
+	if err != nil && !errors.Is(err, ErrDegenerateCalibration) {
+		t.Fatalf("CalibrateChecked error = %v, want nil or ErrDegenerateCalibration", err)
+	}
+	// Calibrate is the errors-swallowed wrapper: same seed, same model.
+	if got := Calibrate(w.points, distance.Hamming, 20, 1000, 1); !got.Usable() {
+		t.Fatalf("Calibrate returned unusable model %+v", got)
+	}
+}

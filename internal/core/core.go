@@ -16,6 +16,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/distance"
@@ -68,6 +69,16 @@ func (c CostModel) LinearCost(n int) float64 {
 // Valid reports whether both constants are positive.
 func (c CostModel) Valid() bool { return c.Alpha > 0 && c.Beta > 0 }
 
+// Usable reports whether the model can safely drive strategy decisions:
+// both constants positive and finite. SetCost and Restore accept only
+// usable models, so a NaN or Inf produced by a bad refit can never reach
+// the decision rule.
+func (c CostModel) Usable() bool {
+	return c.Valid() &&
+		!math.IsNaN(c.Alpha) && !math.IsInf(c.Alpha, 0) &&
+		!math.IsNaN(c.Beta) && !math.IsInf(c.Beta, 0)
+}
+
 // Config configures an Index over point type P.
 type Config[P any] struct {
 	// Family is the LSH family matching Distance.
@@ -116,7 +127,10 @@ type Index[P any] struct {
 	delta  float64
 	k      int
 	p1     float64
-	cost   CostModel
+	// cost is the calibrated model behind Cost()/SetCost: an atomic
+	// pointer so online recalibration can swap constants mid-traffic
+	// without a lock on the query path (decide loads it once per query).
+	cost   atomic.Pointer[CostModel]
 	tables *lsh.Tables[P]
 	states sync.Pool // *queryState
 }
@@ -199,9 +213,9 @@ func NewIndex[P any](points []P, cfg Config[P]) (*Index[P], error) {
 		delta:  cfg.Delta,
 		k:      k,
 		p1:     p1,
-		cost:   cfg.Cost,
 		tables: tables,
 	}
+	ix.cost.Store(&cfg.Cost)
 	ix.initStatePool()
 	return ix, nil
 }
@@ -259,7 +273,7 @@ func Restore[P any](points []P, tables *lsh.Tables[P], cfg RestoreConfig[P]) (*I
 	if !(cfg.P1 >= 0 && cfg.P1 <= 1) {
 		return nil, fmt.Errorf("core: Restore p1 = %v, want in [0,1]", cfg.P1)
 	}
-	if !cfg.Cost.Valid() || math.IsInf(cfg.Cost.Alpha, 0) || math.IsInf(cfg.Cost.Beta, 0) {
+	if !cfg.Cost.Usable() {
 		return nil, fmt.Errorf("core: Restore cost = %+v, want positive finite constants", cfg.Cost)
 	}
 	ix := &Index[P]{
@@ -270,9 +284,9 @@ func Restore[P any](points []P, tables *lsh.Tables[P], cfg RestoreConfig[P]) (*I
 		delta:  cfg.Delta,
 		k:      tables.Params().K,
 		p1:     cfg.P1,
-		cost:   cfg.Cost,
 		tables: tables,
 	}
+	ix.cost.Store(&cfg.Cost)
 	ix.initStatePool()
 	return ix, nil
 }
@@ -304,8 +318,24 @@ func (ix *Index[P]) L() int { return ix.tables.L() }
 // P1 returns the family's collision probability at the index radius.
 func (ix *Index[P]) P1() float64 { return ix.p1 }
 
-// Cost returns the cost model in use.
-func (ix *Index[P]) Cost() CostModel { return ix.cost }
+// Cost returns the cost model in use. It is safe to call concurrently
+// with queries and with SetCost.
+func (ix *Index[P]) Cost() CostModel { return *ix.cost.Load() }
+
+// SetCost swaps the cost model driving the LINEAR-vs-LSH decision. The
+// swap is atomic: it may run concurrently with any number of queries
+// (each query decides with the model it loaded at decision time) and
+// with other SetCost calls — it is the one mutation exempt from the
+// index's single-writer contract, because it touches no index structure.
+// Models with non-positive, NaN or Inf constants are rejected, so a
+// degenerate refit can never poison the decision rule.
+func (ix *Index[P]) SetCost(c CostModel) error {
+	if !c.Usable() {
+		return fmt.Errorf("core: SetCost(%+v), want positive finite constants", c)
+	}
+	ix.cost.Store(&c)
+	return nil
+}
 
 // Tables exposes the underlying LSH structure (read-only) for the probing
 // extensions and white-box experiments.
@@ -394,9 +424,9 @@ func (ix *Index[P]) Compact(dead []bool) (*Index[P], error) {
 		delta:  ix.delta,
 		k:      ix.k,
 		p1:     ix.p1,
-		cost:   ix.cost,
 		tables: tables,
 	}
+	nix.cost.Store(ix.cost.Load())
 	nix.initStatePool()
 	return nix, nil
 }
@@ -481,25 +511,28 @@ func (ix *Index[P]) getState() *queryState {
 // HLL merge (unless a collision bound already settles the comparison) and
 // the cost evaluation. It returns the chosen strategy.
 func (ix *Index[P]) decide(buckets []*lsh.Bucket, st *queryState, stats *QueryStats) Strategy {
+	// One atomic load per decision: the whole comparison runs against a
+	// consistent (α, β) pair even when SetCost swaps the model mid-query.
+	cost := *ix.cost.Load()
 	stats.Collisions = lsh.Collisions(buckets)
-	stats.LinearCost = ix.cost.LinearCost(len(ix.points))
+	stats.LinearCost = cost.LinearCost(len(ix.points))
 	// Short-circuit 1: candSize ≤ #collisions, so if the pessimistic
 	// LSHCost already beats linear there is nothing to estimate.
-	if upper := ix.cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
+	if upper := cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
 		stats.EstCandidates = float64(stats.Collisions)
 		stats.LSHCost = upper
 		return StrategyLSH
 	}
 	// Short-circuit 2: LSHCost ≥ α·#collisions, so if that lower bound
 	// alone reaches LinearCost the scan wins regardless of candSize.
-	if lower := ix.cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
+	if lower := cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
 		stats.EstCandidates = float64(stats.Collisions)
 		stats.LSHCost = lower
 		return StrategyLinear
 	}
 	stats.Estimated = true
 	stats.EstCandidates = ix.tables.EstimateCandidates(buckets, st.sketch)
-	stats.LSHCost = ix.cost.LSHCost(stats.Collisions, stats.EstCandidates)
+	stats.LSHCost = cost.LSHCost(stats.Collisions, stats.EstCandidates)
 	if stats.LSHCost < stats.LinearCost {
 		return StrategyLSH
 	}

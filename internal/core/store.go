@@ -23,6 +23,13 @@ type Store[P any] interface {
 	// LINEAR-vs-LSH decisions; observability layers surface its α/β
 	// terms next to each query's decision trace.
 	Cost() CostModel
+	// SetCost atomically swaps the cost model behind Cost(). Unlike
+	// Append it is exempt from the single-writer contract: it may run
+	// concurrently with queries and with other SetCost calls, which is
+	// what lets online recalibration refit a serving index without
+	// pausing traffic. Implementations must reject models that are not
+	// Usable() (non-positive, NaN or Inf constants).
+	SetCost(c CostModel) error
 	// Append adds points under ids N..N+len(points)-1.
 	Append(points []P) error
 	// CompactStore returns a new store of the same concrete type without

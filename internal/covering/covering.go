@@ -30,6 +30,7 @@ package covering
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -94,7 +95,10 @@ type Index struct {
 	dim    int
 	m      int
 	thresh int
-	cost   core.CostModel
+	// cost is swapped atomically by SetCost while queries run; decide
+	// loads it once per query so each decision sees one coherent (α, β)
+	// pair even mid-swap.
+	cost   atomic.Pointer[core.CostModel]
 	seed   uint64
 	phi    []uint32        // φ(i) ∈ {0,1}^(r+1) per dimension
 	masks  []vector.Binary // one keep-mask per table, derived from φ
@@ -162,12 +166,12 @@ func New(points []vector.Binary, r int, cfg Config) (*Index, error) {
 		dim:    dim,
 		m:      cfg.HLLRegisters,
 		thresh: cfg.HLLThreshold,
-		cost:   cfg.Cost,
 		seed:   cfg.Seed,
 		phi:    phi,
 		masks:  masksFromPhi(phi, r),
 		tables: make([]map[uint64]*lsh.Bucket, NumTables(r)),
 	}
+	ix.cost.Store(&cfg.Cost)
 	for t := range ix.tables {
 		ix.tables[t] = make(map[uint64]*lsh.Bucket)
 	}
@@ -216,12 +220,12 @@ func Restore(points []vector.Binary, r int, phi []uint32, seed uint64, tables []
 		dim:    dim,
 		m:      cfg.HLLRegisters,
 		thresh: cfg.HLLThreshold,
-		cost:   cfg.Cost,
 		seed:   seed,
 		phi:    phi,
 		masks:  masksFromPhi(phi, r),
 		tables: tables,
 	}
+	ix.cost.Store(&cfg.Cost)
 	ix.initStatePool()
 	return ix, nil
 }
@@ -310,7 +314,18 @@ func (ix *Index) HLLRegisters() int { return ix.m }
 func (ix *Index) HLLThreshold() int { return ix.thresh }
 
 // Cost returns the cost model in use.
-func (ix *Index) Cost() core.CostModel { return ix.cost }
+func (ix *Index) Cost() core.CostModel { return *ix.cost.Load() }
+
+// SetCost atomically swaps the cost model driving decide. It may run
+// concurrently with queries and other SetCost calls (see core.Store);
+// models that are not Usable are rejected.
+func (ix *Index) SetCost(c core.CostModel) error {
+	if !c.Usable() {
+		return fmt.Errorf("covering: SetCost(%+v), want positive finite constants", c)
+	}
+	ix.cost.Store(&c)
+	return nil
+}
 
 // Append adds points to the index, assigning ids from the current N
 // upward. New points are hashed with the already-drawn φ, so the
@@ -431,12 +446,12 @@ func (ix *Index) Compact(dead []bool) (*Index, error) {
 		dim:    ix.dim,
 		m:      ix.m,
 		thresh: ix.thresh,
-		cost:   ix.cost,
 		seed:   ix.seed,
 		phi:    ix.phi,
 		masks:  ix.masks,
 		tables: tables,
 	}
+	nix.cost.Store(ix.cost.Load())
 	nix.initStatePool()
 	return nix, nil
 }
@@ -487,21 +502,22 @@ func (ix *Index) Lookup(q vector.Binary) []*lsh.Bucket {
 // set into stats and returns the chosen strategy (the same
 // short-circuits and cost comparison as core.Index over its L buckets).
 func (ix *Index) decide(buckets []*lsh.Bucket, st *queryState, stats *core.QueryStats) core.Strategy {
+	cost := *ix.cost.Load()
 	stats.Collisions = lsh.Collisions(buckets)
-	stats.LinearCost = ix.cost.LinearCost(len(ix.points))
-	if upper := ix.cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
+	stats.LinearCost = cost.LinearCost(len(ix.points))
+	if upper := cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
 		stats.EstCandidates = float64(stats.Collisions)
 		stats.LSHCost = upper
 		return core.StrategyLSH
 	}
-	if lower := ix.cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
+	if lower := cost.Alpha * float64(stats.Collisions); lower >= stats.LinearCost {
 		stats.EstCandidates = float64(stats.Collisions)
 		stats.LSHCost = lower
 		return core.StrategyLinear
 	}
 	stats.Estimated = true
 	stats.EstCandidates = ix.estimate(buckets, st.sketch)
-	stats.LSHCost = ix.cost.LSHCost(stats.Collisions, stats.EstCandidates)
+	stats.LSHCost = cost.LSHCost(stats.Collisions, stats.EstCandidates)
 	if stats.LSHCost < stats.LinearCost {
 		return core.StrategyLSH
 	}

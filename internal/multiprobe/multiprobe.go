@@ -191,6 +191,11 @@ func (ix *Index) Probes() int { return ix.probes }
 // Cost returns the cost model in use.
 func (ix *Index) Cost() core.CostModel { return ix.ix.Cost() }
 
+// SetCost atomically swaps the cost model of the wrapped core index (see
+// core.Index.SetCost): safe concurrently with queries, rejected unless
+// the model is Usable.
+func (ix *Index) SetCost(c core.CostModel) error { return ix.ix.SetCost(c) }
+
 // resolve maps a per-call probe override to the effective T (t < 0
 // means the configured default).
 func (ix *Index) resolve(t int) int {

@@ -74,8 +74,25 @@ func (d *DriftMonitor) RecordQuery(st shard.QueryStats) {
 	}
 }
 
-// DriftSeries summarizes one sliding window: the lifetime observation
-// count and the window's p10/p50/p90.
+// ResetCostWindows discards the two per-strategy ns-per-cost-unit
+// windows (the estimate-error window is untouched — HLL accuracy is a
+// property of the sketches, not the cost constants). It must be called
+// when the evidence behind time_ratio goes stale: after a compaction
+// (the bucket rewrite changes both arms' work per cost unit) and after a
+// cost-model swap (the old windows are denominated in the old α/β).
+// Without the reset, post-event samples mix with pre-event ones and the
+// blended p50s can trigger — or mask — a refit on evidence that no
+// longer describes the serving index.
+func (d *DriftMonitor) ResetCostWindows() {
+	d.lshNPC.Reset()
+	d.linNPC.Reset()
+}
+
+// Window returns the per-series sliding-window capacity.
+func (d *DriftMonitor) Window() int { return d.lshNPC.Cap() }
+
+// DriftSeries summarizes one sliding window: the observation count since
+// construction or the last reset, and the window's p10/p50/p90.
 type DriftSeries struct {
 	Count int64   `json:"count"`
 	P10   float64 `json:"p10"`

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultDeadBand is the fractional dead band around time_ratio = 1
+// inside which the auto policy leaves the cost model alone: calibration
+// noise routinely moves the ratio a few tens of percent, and refitting on
+// noise would churn the decision boundary for nothing.
+const DefaultDeadBand = 0.25
+
+// RefitCost derives a refitted cost model from the current one and the
+// measured per-strategy ns-per-cost-unit windows, with no probe traffic:
+//
+//	β' = β · p50(linear ns per cost unit)
+//	α' = α · p50(LSH ns per cost unit)
+//
+// The linear scaling is exact — LinearCost is β·n, so the linear arm's
+// ns-per-cost-unit is precisely the factor by which β is off. The LSH
+// scaling is a fixed-point approximation: LSHCost mixes α and β terms, so
+// scaling α by the whole arm's ratio over-corrects when the β term
+// dominates — but each refit moves both arms' ns-per-cost-unit toward 1
+// (the invariant a fresh Calibrate establishes by construction), so
+// repeated refits converge to the same place direct re-measurement would.
+//
+// It returns an error — and leaves the model to the caller unchanged —
+// when either arm has no samples (p50 = 0; a refit needs evidence from
+// both strategies), when cur itself is not Usable, or when the refitted
+// model would be degenerate (non-positive, NaN or Inf constants, the same
+// class of model CalibrateChecked flags): a refitter must never trade a
+// working calibration for a meaningless one.
+func RefitCost(cur core.CostModel, ds DriftStats) (core.CostModel, error) {
+	if !cur.Usable() {
+		return core.CostModel{}, fmt.Errorf("obs: RefitCost from unusable model %+v", cur)
+	}
+	lsh, lin := ds.LSHNsPerCost.P50, ds.LinearNsPerCost.P50
+	if lsh <= 0 || lin <= 0 {
+		return core.CostModel{}, fmt.Errorf("obs: RefitCost needs samples on both strategies (lsh p50 %v, linear p50 %v)", lsh, lin)
+	}
+	next := core.CostModel{Alpha: cur.Alpha * lsh, Beta: cur.Beta * lin}
+	if !next.Usable() {
+		return core.CostModel{}, fmt.Errorf("obs: RefitCost produced degenerate model %+v", next)
+	}
+	return next, nil
+}
+
+// RecalibratorConfig tunes the auto-refit policy.
+type RecalibratorConfig struct {
+	// DeadBand is the fractional band around time_ratio = 1 that does not
+	// trigger a refit (<= 0 uses DefaultDeadBand).
+	DeadBand float64
+	// MinSamples is the per-strategy window fill — observations since the
+	// last window reset — required before the auto policy trusts the
+	// ratio (<= 0 uses the drift monitor's window size, i.e. a full
+	// window per arm).
+	MinSamples int64
+}
+
+// Recalibrator is the acting half of the drift loop: it watches a
+// DriftMonitor's time_ratio and, when the evidence is sufficient and
+// outside the dead band, swaps a refitted cost model into the serving
+// store through the supplied setter. Refit attempts serialize on an
+// internal mutex; the swap itself is the store's atomic SetCost, so
+// queries are never paused.
+//
+// Both halves only see uncached traffic by construction: cache hits carry
+// no per-shard stats, so they never reach the monitor's windows, and the
+// refitter consumes nothing but those windows.
+type Recalibrator struct {
+	drift *DriftMonitor
+	get   func() core.CostModel
+	set   func(core.CostModel) error
+	logf  func(format string, args ...any)
+
+	deadBand   float64
+	minSamples int64
+
+	// refits counts adopted refits (exposed as
+	// hybridlsh_cost_refits_total when built with a Registry).
+	refits *Counter
+
+	mu              sync.Mutex
+	lastCompactions int64
+}
+
+// NewRecalibrator wires a Recalibrator over a drift monitor and a store's
+// Cost/SetCost pair (passed as closures so any store kind fits). When r
+// is non-nil it registers hybridlsh_cost_refits_total plus live α/β
+// gauges; logf (nil = silent) receives one line per adopted refit with
+// the old and new constants.
+func NewRecalibrator(r *Registry, drift *DriftMonitor, get func() core.CostModel, set func(core.CostModel) error, cfg RecalibratorConfig, logf func(string, ...any)) *Recalibrator {
+	if cfg.DeadBand <= 0 {
+		cfg.DeadBand = DefaultDeadBand
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = int64(drift.Window())
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rc := &Recalibrator{
+		drift:      drift,
+		get:        get,
+		set:        set,
+		logf:       logf,
+		deadBand:   cfg.DeadBand,
+		minSamples: cfg.MinSamples,
+	}
+	if r != nil {
+		rc.refits = r.NewCounter("hybridlsh_cost_refits_total",
+			"Cost-model refits adopted (auto dead-band exits and forced /recalibrate calls).")
+		r.NewGaugeFunc("hybridlsh_cost_alpha_ns",
+			"Current cost-model α: nanoseconds per duplicate-removal step.",
+			func() float64 { return get().Alpha })
+		r.NewGaugeFunc("hybridlsh_cost_beta_ns",
+			"Current cost-model β: nanoseconds per distance computation.",
+			func() float64 { return get().Beta })
+	} else {
+		rc.refits = &Counter{}
+	}
+	return rc
+}
+
+// DeadBand returns the configured dead band.
+func (rc *Recalibrator) DeadBand() float64 { return rc.deadBand }
+
+// MinSamples returns the configured per-strategy sample requirement.
+func (rc *Recalibrator) MinSamples() int64 { return rc.minSamples }
+
+// Refits returns the number of refits adopted so far.
+func (rc *Recalibrator) Refits() int64 { return int64(rc.refits.Value()) }
+
+// NoteCompactions informs the recalibrator of the store's cumulative
+// compaction count; on any increase it resets the cost windows, because a
+// compaction rewrites the buckets both arms are being timed against —
+// post-compaction samples must not blend with pre-compaction ones.
+// Serving layers call it with shard.Stats().CompactionsTotal on their
+// record path (it is cheap when nothing changed).
+func (rc *Recalibrator) NoteCompactions(total int64) {
+	rc.mu.Lock()
+	changed := total != rc.lastCompactions
+	rc.lastCompactions = total
+	rc.mu.Unlock()
+	if changed {
+		rc.drift.ResetCostWindows()
+	}
+}
+
+// Check runs the auto policy once: refit iff both strategy windows hold
+// at least MinSamples observations since their last reset AND the
+// windows' time_ratio sits outside the dead band — i.e. the ratio's p50
+// stayed away from 1 across full windows of evidence. It reports whether
+// a refit was adopted. Safe to call from any goroutine at any cadence.
+func (rc *Recalibrator) Check() bool {
+	ds := rc.drift.Snapshot()
+	if ds.LSHNsPerCost.Count < rc.minSamples || ds.LinearNsPerCost.Count < rc.minSamples {
+		return false
+	}
+	if ds.TimeRatio >= 1-rc.deadBand && ds.TimeRatio <= 1+rc.deadBand {
+		return false
+	}
+	_, _, err := rc.refit(ds)
+	return err == nil
+}
+
+// Force refits immediately from the current windows, bypassing the dead
+// band and the sample floor (both arms must still have been observed at
+// least once — RefitCost cannot conjure constants from nothing). It
+// backs POST /recalibrate and returns the old and new models.
+func (rc *Recalibrator) Force() (old, next core.CostModel, err error) {
+	return rc.refit(rc.drift.Snapshot())
+}
+
+// refit computes, validates and adopts a refitted model, then resets the
+// cost windows (they are denominated in the old constants) and logs the
+// swap. Serialized so concurrent Check/Force calls cannot double-apply
+// the same windows.
+func (rc *Recalibrator) refit(ds DriftStats) (old, next core.CostModel, err error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	old = rc.get()
+	next, err = RefitCost(old, ds)
+	if err != nil {
+		return old, old, err
+	}
+	if err := rc.set(next); err != nil {
+		return old, old, fmt.Errorf("obs: refit rejected by store: %w", err)
+	}
+	rc.drift.ResetCostWindows()
+	rc.refits.Inc()
+	rc.logf("recalibrated cost model: alpha %.3f -> %.3f ns, beta %.3f -> %.3f ns, beta/alpha %.3f -> %.3f (time_ratio %.3f, lsh p50 %.3f, linear p50 %.3f)",
+		old.Alpha, next.Alpha, old.Beta, next.Beta, old.BetaOverAlpha(), next.BetaOverAlpha(), ds.TimeRatio, ds.LSHNsPerCost.P50, ds.LinearNsPerCost.P50)
+	return old, next, nil
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// feed records n answers on one strategy arm at exactly npc nanoseconds
+// per predicted cost unit.
+func feed(d *DriftMonitor, strat core.Strategy, n int, npc float64) {
+	for i := 0; i < n; i++ {
+		qs := core.QueryStats{
+			Strategy:   strat,
+			LSHCost:    1000,
+			LinearCost: 1000,
+			SearchTime: time.Duration(1000 * npc),
+		}
+		d.Record(qs)
+	}
+}
+
+func TestResetCostWindows(t *testing.T) {
+	d := NewDriftMonitor(16)
+	if got := d.Window(); got != 16 {
+		t.Fatalf("Window() = %d, want 16", got)
+	}
+	feed(d, core.StrategyLSH, 5, 2)
+	feed(d, core.StrategyLinear, 5, 1)
+	d.Record(core.QueryStats{
+		Strategy: core.StrategyLSH, Estimated: true,
+		EstCandidates: 90, Candidates: 100,
+	})
+	d.ResetCostWindows()
+	s := d.Snapshot()
+	if s.LSHNsPerCost.Count != 0 || s.LinearNsPerCost.Count != 0 || s.TimeRatio != 0 {
+		t.Fatalf("cost windows survived reset: %+v", s)
+	}
+	// The estimate-error window measures the sketches, not the cost
+	// constants — it must survive.
+	if s.EstimateError.Count != 1 {
+		t.Fatalf("estimate-error window reset too: %+v", s.EstimateError)
+	}
+}
+
+func TestRefitCost(t *testing.T) {
+	cur := core.CostModel{Alpha: 2, Beta: 3}
+	ds := DriftStats{
+		LSHNsPerCost:    DriftSeries{Count: 10, P50: 0.5},
+		LinearNsPerCost: DriftSeries{Count: 10, P50: 4},
+	}
+	next, err := RefitCost(cur, ds)
+	if err != nil {
+		t.Fatalf("RefitCost: %v", err)
+	}
+	if next.Alpha != 1 || next.Beta != 12 {
+		t.Fatalf("RefitCost = %+v, want α = 1, β = 12", next)
+	}
+
+	// No evidence on an arm: refuse rather than zero a constant.
+	for _, ds := range []DriftStats{
+		{LinearNsPerCost: DriftSeries{P50: 4}},
+		{LSHNsPerCost: DriftSeries{P50: 0.5}},
+		{},
+	} {
+		if _, err := RefitCost(cur, ds); err == nil {
+			t.Fatalf("RefitCost accepted empty windows %+v", ds)
+		}
+	}
+	// An unusable current model cannot anchor a refit.
+	if _, err := RefitCost(core.CostModel{}, ds); err == nil {
+		t.Fatal("RefitCost accepted an unusable current model")
+	}
+	if _, err := RefitCost(core.CostModel{Alpha: math.NaN(), Beta: 1}, ds); err == nil {
+		t.Fatal("RefitCost accepted a NaN current model")
+	}
+	// A degenerate outcome (overflow to +Inf) must be refused too.
+	huge := core.CostModel{Alpha: math.MaxFloat64, Beta: 1}
+	if _, err := RefitCost(huge, DriftStats{
+		LSHNsPerCost:    DriftSeries{P50: math.MaxFloat64},
+		LinearNsPerCost: DriftSeries{P50: 1},
+	}); err == nil {
+		t.Fatal("RefitCost accepted an overflowed model")
+	}
+}
+
+// recalHarness wires a Recalibrator over an in-memory model for policy
+// tests: get/set mirror what a store's Cost/SetCost pair does, including
+// the degenerate-model rejection.
+func recalHarness(t *testing.T, d *DriftMonitor, cfg RecalibratorConfig) (*Recalibrator, *core.CostModel) {
+	t.Helper()
+	model := &core.CostModel{Alpha: 10, Beta: 20}
+	rc := NewRecalibrator(nil, d,
+		func() core.CostModel { return *model },
+		func(c core.CostModel) error {
+			if !c.Usable() {
+				return fmt.Errorf("reject %+v", c)
+			}
+			*model = c
+			return nil
+		},
+		cfg, nil)
+	return rc, model
+}
+
+func TestRecalibratorCheck(t *testing.T) {
+	d := NewDriftMonitor(64)
+	rc, model := recalHarness(t, d, RecalibratorConfig{MinSamples: 10})
+	if rc.DeadBand() != DefaultDeadBand {
+		t.Fatalf("DeadBand() = %v, want default %v", rc.DeadBand(), DefaultDeadBand)
+	}
+	if rc.MinSamples() != 10 {
+		t.Fatalf("MinSamples() = %v, want 10", rc.MinSamples())
+	}
+
+	// Insufficient evidence: nine samples per arm is one short.
+	feed(d, core.StrategyLSH, 9, 2)
+	feed(d, core.StrategyLinear, 9, 1)
+	if rc.Check() {
+		t.Fatal("Check refitted below MinSamples")
+	}
+	// Full windows at ratio 2 (outside the ±25% band): refit fires,
+	// α scales by the LSH p50, β by the linear p50, windows reset.
+	feed(d, core.StrategyLSH, 1, 2)
+	feed(d, core.StrategyLinear, 1, 1)
+	if !rc.Check() {
+		t.Fatal("Check did not refit on a drifted full window")
+	}
+	if model.Alpha != 20 || model.Beta != 20 {
+		t.Fatalf("refitted model = %+v, want α = 20, β = 20", *model)
+	}
+	if rc.Refits() != 1 {
+		t.Fatalf("Refits() = %d, want 1", rc.Refits())
+	}
+	if s := d.Snapshot(); s.LSHNsPerCost.Count != 0 || s.LinearNsPerCost.Count != 0 {
+		t.Fatalf("windows not reset after refit: %+v", s)
+	}
+
+	// Inside the dead band: evidence is plentiful but the calibration
+	// holds, so the model must be left alone.
+	feed(d, core.StrategyLSH, 10, 1.1)
+	feed(d, core.StrategyLinear, 10, 1)
+	if rc.Check() {
+		t.Fatal("Check refitted inside the dead band")
+	}
+	if rc.Refits() != 1 {
+		t.Fatalf("Refits() = %d after in-band Check, want 1", rc.Refits())
+	}
+}
+
+func TestRecalibratorForce(t *testing.T) {
+	d := NewDriftMonitor(64)
+	rc, model := recalHarness(t, d, RecalibratorConfig{})
+
+	// Empty windows: Force cannot conjure constants from nothing.
+	if _, _, err := rc.Force(); err == nil {
+		t.Fatal("Force refitted from empty windows")
+	}
+	// One sample per arm is enough for Force (it bypasses MinSamples),
+	// and an in-band ratio is no obstacle either.
+	feed(d, core.StrategyLSH, 1, 1.1)
+	feed(d, core.StrategyLinear, 1, 1)
+	old, next, err := rc.Force()
+	if err != nil {
+		t.Fatalf("Force: %v", err)
+	}
+	if old != (core.CostModel{Alpha: 10, Beta: 20}) {
+		t.Fatalf("Force old = %+v", old)
+	}
+	if math.Abs(next.Alpha-11) > 1e-9 || next.Beta != 20 || *model != next {
+		t.Fatalf("Force next = %+v (model %+v), want α = 11, β = 20", next, *model)
+	}
+	if rc.Refits() != 1 {
+		t.Fatalf("Refits() = %d, want 1", rc.Refits())
+	}
+}
+
+func TestRecalibratorSetRejectionKeepsModel(t *testing.T) {
+	d := NewDriftMonitor(64)
+	model := core.CostModel{Alpha: 10, Beta: 20}
+	rc := NewRecalibrator(nil, d,
+		func() core.CostModel { return model },
+		func(core.CostModel) error { return fmt.Errorf("store says no") },
+		RecalibratorConfig{}, nil)
+	feed(d, core.StrategyLSH, 1, 2)
+	feed(d, core.StrategyLinear, 1, 1)
+	if _, _, err := rc.Force(); err == nil || !strings.Contains(err.Error(), "store says no") {
+		t.Fatalf("Force error = %v, want the store's rejection", err)
+	}
+	if rc.Refits() != 0 {
+		t.Fatalf("Refits() = %d after a rejected swap, want 0", rc.Refits())
+	}
+	// The windows must survive a rejected refit: the evidence still
+	// describes the still-serving model.
+	if s := d.Snapshot(); s.LSHNsPerCost.Count != 1 {
+		t.Fatalf("windows reset despite rejected refit: %+v", s)
+	}
+}
+
+func TestRecalibratorNoteCompactions(t *testing.T) {
+	d := NewDriftMonitor(64)
+	rc, _ := recalHarness(t, d, RecalibratorConfig{})
+	feed(d, core.StrategyLSH, 5, 2)
+	feed(d, core.StrategyLinear, 5, 1)
+	rc.NoteCompactions(0) // no change from the initial count: no reset
+	if s := d.Snapshot(); s.LSHNsPerCost.Count != 5 {
+		t.Fatalf("NoteCompactions(0) reset the windows: %+v", s)
+	}
+	rc.NoteCompactions(3) // compactions happened: evidence is stale
+	if s := d.Snapshot(); s.LSHNsPerCost.Count != 0 || s.LinearNsPerCost.Count != 0 {
+		t.Fatalf("NoteCompactions(3) did not reset the windows: %+v", s)
+	}
+	feed(d, core.StrategyLSH, 5, 2)
+	rc.NoteCompactions(3) // unchanged count: windows keep accumulating
+	if s := d.Snapshot(); s.LSHNsPerCost.Count != 5 {
+		t.Fatalf("repeat NoteCompactions(3) reset the windows: %+v", s)
+	}
+}
+
+func TestRecalibratorMetrics(t *testing.T) {
+	r := NewRegistry()
+	d := NewDriftMonitor(64)
+	model := core.CostModel{Alpha: 10, Beta: 20}
+	logged := 0
+	rc := NewRecalibrator(r, d,
+		func() core.CostModel { return model },
+		func(c core.CostModel) error { model = c; return nil },
+		RecalibratorConfig{MinSamples: 1},
+		func(string, ...any) { logged++ })
+	feed(d, core.StrategyLSH, 1, 2)
+	feed(d, core.StrategyLinear, 1, 1)
+	if !rc.Check() {
+		t.Fatal("Check did not refit")
+	}
+	if logged != 1 {
+		t.Fatalf("logf called %d times, want 1", logged)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"hybridlsh_cost_refits_total 1",
+		"hybridlsh_cost_alpha_ns 20",
+		"hybridlsh_cost_beta_ns 20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint(buf.Bytes()); err != nil {
+		t.Fatalf("recalibrator families do not lint: %v", err)
+	}
+}

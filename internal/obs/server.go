@@ -148,6 +148,16 @@ func RegisterTopology(r *Registry, fetch func() shard.Stats) {
 		}))
 	r.NewGaugeFunc("hybridlsh_shards", "Shard count.",
 		read(func(s shard.Stats) float64 { return float64(s.Shards) }))
+	r.NewCounterFunc("hybridlsh_cache_hits_total", "Result-cache answers served without touching any shard (0 when the cache is disabled).",
+		read(func(s shard.Stats) float64 { return float64(s.CacheHits) }))
+	r.NewCounterFunc("hybridlsh_cache_misses_total", "Result-cache lookups that fell through to the fan-out, stale-entry evictions included.",
+		read(func(s shard.Stats) float64 { return float64(s.CacheMisses) }))
+	r.NewCounterFunc("hybridlsh_cache_invalidations_total", "Cached answers evicted because a shard mutated (Append/Delete/Compact/SetCost) after they were filled.",
+		read(func(s shard.Stats) float64 { return float64(s.CacheInvalidations) }))
+	r.NewGaugeFunc("hybridlsh_cache_entries", "Result-cache entries currently held.",
+		read(func(s shard.Stats) float64 { return float64(s.CacheEntries) }))
+	r.NewGaugeFunc("hybridlsh_cache_capacity", "Result-cache entry capacity (0 when the cache is disabled).",
+		read(func(s shard.Stats) float64 { return float64(s.CacheCapacity) }))
 
 	points := r.NewGaugeVec("hybridlsh_shard_points", "Points in the shard's buckets, tombstoned included.", "shard")
 	dead := r.NewGaugeVec("hybridlsh_shard_dead", "Tombstoned-but-still-bucketed points in the shard.", "shard")

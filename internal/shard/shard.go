@@ -64,6 +64,16 @@ type shardState[P any] struct {
 	ids       []int32 // ids[local] = global id
 	compactMu sync.Mutex
 
+	// gen counts mutations of this shard's answer set — Append, Compact,
+	// Delete of an id it owns, and cost-model swaps (a strategy flip can
+	// change the LSH path's reported set). The result cache stamps every
+	// entry with the summed generations read before fan-out; any bump in
+	// between invalidates the entry, so cached answers can never resurrect
+	// tombstoned ids or miss new points. Bumped only while the mutation's
+	// guarding lock is held, so a reader that observes the bump also
+	// observes the mutation.
+	gen atomic.Uint64
+
 	// Observability counters, cumulative over the shard's lifetime
 	// (compaction swaps the index but keeps the counters): queries
 	// answered by this shard, the summed estimate+search time they cost
@@ -120,6 +130,12 @@ type Sharded[P any] struct {
 	compactions []int64
 	// compactThresh is the auto-compaction trigger ratio; >= 1 disables.
 	compactThresh float64
+
+	// cache, when non-nil, memoizes merged live-id answers keyed by
+	// cacheKey's exact query encoding (see EnableCache and cache.go for
+	// the epoch-stamped coherence protocol).
+	cache    *resultCache
+	cacheKey func(P) string
 }
 
 // shardSeed derives the construction seed of shard i so that shards draw
@@ -320,6 +336,10 @@ func (s *Sharded[P]) N() int {
 // QueryStats aggregates the per-shard core.QueryStats of one fanned-out
 // query.
 type QueryStats struct {
+	// CacheHit marks an answer served from the result cache: no shard was
+	// touched, no strategy decided, and PerShard is empty — drift monitors
+	// iterating PerShard therefore never ingest cached (near-zero) timings.
+	CacheHit bool
 	// PerShard holds each shard's stats, indexed by shard.
 	PerShard []core.QueryStats
 	// LSHShards and LinearShards count the strategy mix: how many shards
@@ -340,8 +360,10 @@ type QueryStats struct {
 // result sets into global ids, drops tombstoned ids and returns the rest
 // (distinct, unordered) with aggregated stats.
 func (s *Sharded[P]) Query(q P) ([]int32, QueryStats) {
-	return s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
-		return ix.Query(q)
+	return s.cached("q:", q, func() ([]int32, QueryStats) {
+		return s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
+			return ix.Query(q)
+		})
 	})
 }
 
@@ -354,8 +376,10 @@ func (s *Sharded[P]) QueryProbes(q P, t int) ([]int32, QueryStats, error) {
 	if !s.Probing() {
 		return nil, QueryStats{}, fmt.Errorf("shard: QueryProbes on shards without multi-probe support")
 	}
-	ids, stats := s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
-		return ix.(core.ProbeQuerier[P]).QueryProbes(q, t)
+	ids, stats := s.cached(fmt.Sprintf("p%d:", t), q, func() ([]int32, QueryStats) {
+		return s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
+			return ix.(core.ProbeQuerier[P]).QueryProbes(q, t)
+		})
 	})
 	return ids, stats, nil
 }
@@ -379,6 +403,36 @@ func (s *Sharded[P]) Cost() core.CostModel {
 	return st.ix.Cost()
 }
 
+// SetCost atomically swaps the cost model on every shard, so all shards
+// keep deciding with one shared calibration (the invariant Cost()
+// documents). It may run concurrently with queries — each shard's swap is
+// a single atomic store — and serializes with that shard's Compact via
+// compactMu, so a swap can never be lost to a concurrent rewrite's
+// copy-then-swap. Models that are not Usable (non-positive, NaN or Inf
+// constants) are rejected before any shard is touched.
+func (s *Sharded[P]) SetCost(c core.CostModel) error {
+	if !c.Usable() {
+		return fmt.Errorf("shard: SetCost(%+v), want positive finite constants", c)
+	}
+	for j, st := range s.shards {
+		st.compactMu.Lock()
+		st.mu.RLock()
+		err := st.ix.SetCost(c)
+		if err == nil {
+			// A different (α, β) can flip LINEAR↔LSH, and the LSH path's
+			// reported set is not the linear scan's — invalidate cached
+			// answers.
+			st.gen.Add(1)
+		}
+		st.mu.RUnlock()
+		st.compactMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
 // QueryRadius is Query with a per-shard radius override: every shard
 // answers via core.RadiusQuerier.QueryRadius(q, r) — the report covers
 // radius r instead of each shard's built radius (r < 0 restores the
@@ -389,8 +443,10 @@ func (s *Sharded[P]) QueryRadius(q P, r int) ([]int32, QueryStats, error) {
 	if !s.RadiusCapable() {
 		return nil, QueryStats{}, fmt.Errorf("shard: QueryRadius on shards without radius-override support")
 	}
-	ids, stats := s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
-		return ix.(core.RadiusQuerier[P]).QueryRadius(q, r)
+	ids, stats := s.cached(fmt.Sprintf("r%d:", r), q, func() ([]int32, QueryStats) {
+		return s.fanOut(q, func(ix core.Store[P], q P) ([]int32, core.QueryStats) {
+			return ix.(core.RadiusQuerier[P]).QueryRadius(q, r)
+		})
 	})
 	return ids, stats, nil
 }
@@ -593,6 +649,7 @@ func (s *Sharded[P]) Append(points []P) ([]int32, error) {
 	}
 	target.ids = append(target.ids, ids...)
 	target.appends.Add(int64(len(points)))
+	target.gen.Add(1) // still under target.mu: cache entries filled before this append go stale
 	// Record the new ids' owning shard before publishing them through
 	// nextID, so Delete never sees an id without an owners entry.
 	s.tombMu.Lock()
@@ -645,6 +702,12 @@ func (s *Sharded[P]) Delete(ids []int32) int {
 			s.shardDead[j]++
 			touched[int(j)] = struct{}{}
 		}
+	}
+	// Still under tombMu: a cache fill that observes these bumps also
+	// observes the tombstones in mergeLive, so its entry is fresh; one
+	// that doesn't is stamped with the old epoch and dies.
+	for j := range touched {
+		s.shards[j].gen.Add(1)
 	}
 	s.tombMu.Unlock()
 
@@ -771,6 +834,7 @@ func (s *Sharded[P]) Compact(j int) (int, error) {
 	}
 	st.ix = nix
 	st.ids = newIDs
+	st.gen.Add(1) // the swapped-in index is a new answer source
 	st.mu.Unlock()
 
 	// Phase 3 — bookkeeping: the compacted ids no longer live in any
@@ -851,6 +915,16 @@ type Stats struct {
 	ShardQueries    []int64
 	ShardQueryNanos []int64
 	ShardAppends    []int64
+	// CacheEnabled reports whether a result cache is installed (see
+	// EnableCache); the remaining cache fields are zero when it is not.
+	// CacheHits counts answers served without touching any shard,
+	// CacheMisses lookups that fell through to the fan-out (stale-entry
+	// evictions included), CacheInvalidations the subset of misses that
+	// evicted an entry stamped with an outdated mutation epoch.
+	// CacheEntries and CacheCapacity describe the LRU's current fill.
+	CacheEnabled                               bool
+	CacheHits, CacheMisses, CacheInvalidations int64
+	CacheEntries, CacheCapacity                int
 }
 
 // Stats snapshots the topology.
@@ -878,6 +952,14 @@ func (s *Sharded[P]) Stats() Stats {
 	}
 	for _, c := range st.Compactions {
 		st.CompactionsTotal += c
+	}
+	if s.cache != nil {
+		st.CacheEnabled = true
+		st.CacheHits = s.cache.hits.Load()
+		st.CacheMisses = s.cache.misses.Load()
+		st.CacheInvalidations = s.cache.invalidations.Load()
+		st.CacheEntries = s.cache.len()
+		st.CacheCapacity = s.cache.cap
 	}
 	return st
 }

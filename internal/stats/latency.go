@@ -41,8 +41,22 @@ func (r *Recorder) Observe(x float64) {
 	r.mu.Unlock()
 }
 
-// Count returns the number of observations ever recorded (not just those
-// still in the window).
+// Reset discards the window and restarts the observation count, leaving
+// the Recorder as if freshly constructed. Callers use it when an event
+// invalidates the window's evidence — e.g. a compaction or a cost-model
+// swap behind a drift window — so pre-event samples can never mix with
+// post-event ones.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.next, r.size, r.total = 0, 0, 0
+	r.mu.Unlock()
+}
+
+// Cap returns the window capacity.
+func (r *Recorder) Cap() int { return len(r.ring) }
+
+// Count returns the number of observations recorded since construction or
+// the last Reset (not just those still in the window).
 func (r *Recorder) Count() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -14,8 +14,10 @@
 package storetest
 
 import (
+	"math"
 	"reflect"
 	"slices"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -82,6 +84,9 @@ func Run[P any](t *testing.T, h Harness[P]) {
 		t.Run("DecideStrategyConsistent", h.testDecideStrategy)
 		t.Run("CompactStore", h.testCompactStore)
 		t.Run("CompactStoreRejectsBadLength", h.testCompactBadLength)
+		t.Run("SetCostSwaps", h.testSetCostSwaps)
+		t.Run("SetCostRejectsDegenerate", h.testSetCostRejects)
+		t.Run("SetCostConcurrentWithQueries", h.testSetCostConcurrent)
 	})
 }
 
@@ -271,5 +276,124 @@ func (h Harness[P]) testCompactBadLength(t *testing.T) {
 	st := h.New(t, data, 7)
 	if _, err := st.CompactStore(make([]bool, len(data)+1)); err == nil {
 		t.Fatal("CompactStore accepted a dead slice of the wrong length")
+	}
+}
+
+// testSetCostSwaps pins the swap contract: a usable model is adopted
+// exactly (Cost() returns it), and the decision follows the new
+// constants — an absurdly expensive α forces the linear scan, an
+// absurdly cheap one hands queries with fewer candidates than points
+// back to the LSH path.
+func (h Harness[P]) testSetCostSwaps(t *testing.T) {
+	data := h.Data(150, 10)
+	st := h.New(t, data, 7)
+	d, ok := st.(decider[P])
+	if !ok {
+		t.Fatalf("%T does not provide DecideStrategy", st)
+	}
+	want := core.CostModel{Alpha: 2.5, Beta: 7.25}
+	if err := st.SetCost(want); err != nil {
+		t.Fatalf("SetCost(%+v) = %v", want, err)
+	}
+	if got := st.Cost(); got != want {
+		t.Fatalf("Cost() = %+v after SetCost, want %+v", got, want)
+	}
+	// Queries drawn from the data collide at least with themselves, so a
+	// huge α makes every LSHCost beat β·n and the decision must be LINEAR.
+	if err := st.SetCost(core.CostModel{Alpha: 1e12, Beta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := h.queries(data)[0]
+	if strat, _ := d.DecideStrategy(q); strat != core.StrategyLinear {
+		t.Fatalf("strategy = %v under α = 1e12, want LINEAR", strat)
+	}
+	// With α ≈ 0 the comparison reduces to candidates vs n, so any query
+	// whose candidate set is a strict subset of the data goes to LSH.
+	if err := st.SetCost(core.CostModel{Alpha: 1e-12, Beta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range h.queries(data) {
+		strat, qs := d.DecideStrategy(q)
+		if qs.EstCandidates < float64(st.N()) {
+			if strat != core.StrategyLSH {
+				t.Fatalf("strategy = %v under α ≈ 0 with estimate %.1f < n = %d, want LSH",
+					strat, qs.EstCandidates, st.N())
+			}
+			return
+		}
+	}
+	t.Skip("every query's candidate estimate covered the whole store; LSH flip unobservable")
+}
+
+// testSetCostRejects pins the degenerate-model guard: models that are
+// not Usable() must be refused and must leave the serving model
+// untouched — a refitter bug can never load garbage constants.
+func (h Harness[P]) testSetCostRejects(t *testing.T) {
+	data := h.Data(60, 11)
+	st := h.New(t, data, 7)
+	before := st.Cost()
+	for _, bad := range []core.CostModel{
+		{},
+		{Alpha: 0, Beta: 1},
+		{Alpha: 1, Beta: 0},
+		{Alpha: -1, Beta: 1},
+		{Alpha: math.NaN(), Beta: 1},
+		{Alpha: 1, Beta: math.Inf(1)},
+	} {
+		if err := st.SetCost(bad); err == nil {
+			t.Fatalf("SetCost(%+v) accepted a degenerate model", bad)
+		}
+		if got := st.Cost(); got != before {
+			t.Fatalf("Cost() = %+v after rejected SetCost(%+v), want untouched %+v", got, bad, before)
+		}
+	}
+}
+
+// testSetCostConcurrent exercises the one exemption from the
+// single-writer contract: SetCost racing queries and other SetCost
+// calls must stay safe (run under -race) and every query must observe
+// one of the two models' decisions, never a torn mix.
+func (h Harness[P]) testSetCostConcurrent(t *testing.T) {
+	data := h.Data(150, 12)
+	st := h.New(t, data, 7)
+	queries := h.queries(data)
+	models := [2]core.CostModel{
+		{Alpha: 1e12, Beta: 1},
+		{Alpha: 1e-12, Beta: 1},
+	}
+	// One synchronous swap first: the build-time model is gone before the
+	// race starts, so whatever Cost() reports afterwards must be one of
+	// the two racing models even if the scheduler starves the swappers.
+	if err := st.SetCost(models[0]); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := st.SetCost(models[(w+i)%2]); err != nil {
+					t.Errorf("SetCost: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 40; i++ {
+		for _, q := range queries {
+			st.Query(q)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := st.Cost(); got != models[0] && got != models[1] {
+		t.Fatalf("Cost() = %+v after concurrent swaps, want one of %+v", got, models)
 	}
 }

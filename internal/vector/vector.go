@@ -97,6 +97,23 @@ func L1(a, b Dense) float64 {
 	return s
 }
 
+// CacheKey returns an exact byte encoding of a, injective over Dense
+// values of any dimension: 4 little-endian bytes of math.Float32bits per
+// coordinate (the length disambiguates dimensions). Result caches use it
+// as a collision-free lookup key, so two queries share an entry iff they
+// are bit-identical.
+func (a Dense) CacheKey() string {
+	buf := make([]byte, 4*len(a))
+	for i, v := range a {
+		u := math.Float32bits(v)
+		buf[4*i] = byte(u)
+		buf[4*i+1] = byte(u >> 8)
+		buf[4*i+2] = byte(u >> 16)
+		buf[4*i+3] = byte(u >> 24)
+	}
+	return string(buf)
+}
+
 // Sparse is a sparse vector in coordinate form. Idx is strictly increasing;
 // Val[i] is the value at dimension Idx[i]. Dim is the ambient dimension.
 type Sparse struct {
@@ -284,6 +301,22 @@ func Hamming(a, b Binary) int {
 		n += bits.OnesCount64(w ^ b.Words[i])
 	}
 	return n
+}
+
+// CacheKey returns an exact byte encoding of a, injective over Binary
+// values: Dim as 4 little-endian bytes followed by each packed word as 8
+// (Dim pins the live bits of the last word, which NewBinary zero-pads).
+// Result caches use it as a collision-free lookup key.
+func (a Binary) CacheKey() string {
+	buf := make([]byte, 4+8*len(a.Words))
+	u := uint32(a.Dim)
+	buf[0], buf[1], buf[2], buf[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	for i, w := range a.Words {
+		for b := 0; b < 8; b++ {
+			buf[4+8*i+b] = byte(w >> (8 * b))
+		}
+	}
+	return string(buf)
 }
 
 // ToDense expands a binary vector to a dense 0/1 float vector.

@@ -117,6 +117,11 @@ func NewShardedMultiProbeL2Index(points []Dense, r float64, opts ...Option) (*Sh
 	if o.compactThresh != 0 {
 		s.SetAutoCompact(o.compactThresh)
 	}
+	if o.cacheSize != 0 {
+		if err := s.EnableCache(o.cacheSize, Dense.CacheKey); err != nil {
+			return nil, err
+		}
+	}
 	probes := o.probes
 	if probes == 0 {
 		probes = multiprobe.DefaultProbes

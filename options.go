@@ -25,6 +25,7 @@ type options struct {
 	compactThresh float64
 	probes        int
 	radius        int
+	cacheSize     int
 }
 
 // shardCount resolves the shard count for the sharded constructors
@@ -110,6 +111,22 @@ func WithCompactionThreshold(t float64) Option {
 			panic(fmt.Sprintf("hybridlsh: WithCompactionThreshold(%v), want > 0", t))
 		}
 		o.compactThresh = t
+	}
+}
+
+// WithCache installs a result cache of the given entry capacity on the
+// sharded constructors: repeated queries (bit-identical points, same
+// probe/radius override) are answered from an LRU without fanning out,
+// and generation counters bumped by Append/Delete/Compact guarantee a
+// cached answer is never served across a mutation — no resurrected
+// tombstones, no missed new points. Plain (unsharded) constructors
+// ignore it. Default: no cache.
+func WithCache(entries int) Option {
+	return func(o *options) {
+		if entries < 1 {
+			panic(fmt.Sprintf("hybridlsh: WithCache(%d), want >= 1", entries))
+		}
+		o.cacheSize = entries
 	}
 }
 

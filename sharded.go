@@ -58,6 +58,11 @@ func NewShardedL2Index(points []Dense, r float64, opts ...Option) (*ShardedL2Ind
 	if o.compactThresh != 0 {
 		s.SetAutoCompact(o.compactThresh)
 	}
+	if o.cacheSize != 0 {
+		if err := s.EnableCache(o.cacheSize, Dense.CacheKey); err != nil {
+			return nil, err
+		}
+	}
 	return &ShardedL2Index{s}, nil
 }
 
@@ -82,6 +87,11 @@ func NewShardedHammingIndex(points []Binary, r float64, opts ...Option) (*Sharde
 	}
 	if o.compactThresh != 0 {
 		s.SetAutoCompact(o.compactThresh)
+	}
+	if o.cacheSize != 0 {
+		if err := s.EnableCache(o.cacheSize, Binary.CacheKey); err != nil {
+			return nil, err
+		}
 	}
 	return &ShardedHammingIndex{s}, nil
 }
