@@ -34,11 +34,13 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/pointstore"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, recal, cache, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, recal, cache, quant, all")
+		quantMode  = flag.String("quant", "sq8", "point-store quantization mode the quant experiment gates on (off or sq8)")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
 		runs       = flag.Int("runs", 5, "timing runs to average (paper: 5)")
@@ -68,7 +70,12 @@ func main() {
 		}
 		jsonOut = f
 	}
-	if err := run(*exp, cfg, *csvDir, rep); err != nil {
+	qmode, err := pointstore.ParseMode(*quantMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*exp, cfg, *csvDir, rep, qmode); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridbench:", err)
 		os.Exit(1)
 	}
@@ -86,7 +93,7 @@ func main() {
 
 // run executes one experiment (or all), printing human-readable tables
 // and accumulating into rep when non-nil.
-func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) error {
+func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport, qmode pointstore.Mode) error {
 	switch exp {
 	case "table1":
 		return table1(cfg, csvDir, rep)
@@ -114,6 +121,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		return recalExp(cfg, rep)
 	case "cache":
 		return cacheExp(cfg, rep)
+	case "quant":
+		return quantExp(cfg, rep, qmode)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -153,10 +162,31 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport) err
 		if err := recalExp(cfg, rep); err != nil {
 			return err
 		}
-		return cacheExp(cfg, rep)
+		if err := cacheExp(cfg, rep); err != nil {
+			return err
+		}
+		return quantExp(cfg, rep, qmode)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// quantExp runs the candidate-verification experiment: the same LSH
+// candidate sets replayed through the pre-refactor verification, the
+// flat struct-of-arrays store, and the SQ8-quantized store, with an
+// id-identity gate across the arms.
+func quantExp(cfg bench.Config, rep *bench.JSONReport, mode pointstore.Mode) error {
+	res, err := bench.QuantExperiment(cfg, mode)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Point store — candidate verification: baseline vs flat vs SQ8")
+	bench.PrintQuant(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddQuant(res)
+	}
+	return nil
 }
 
 // recalExp runs the drift-loop experiment: inject a stale cost model,

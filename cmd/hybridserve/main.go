@@ -194,6 +194,8 @@ func main() {
 		"online cost-model recalibration: auto refits alpha/beta when drift leaves the dead band and enables POST /recalibrate, off disables both")
 	flag.IntVar(&cfg.cacheSize, "cache", cfg.cacheSize,
 		"result-cache entry capacity; repeated queries are answered from an LRU invalidated on every mutation (0 = off)")
+	flag.StringVar(&cfg.quant, "quant", cfg.quant,
+		"point-store quantization: sq8 keeps a scalar-quantized verification copy (l2 only; answers stay id-identical), off stores exact values only; snapshots restore their recorded mode")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -281,6 +283,7 @@ type config struct {
 	pprofAddr     string
 	recalibrate   string
 	cacheSize     int
+	quant         string
 }
 
 func defaultConfig() config {
@@ -296,6 +299,7 @@ func defaultConfig() config {
 		maxBody:       8 << 20,
 		compactThresh: shard.DefaultCompactionThreshold,
 		recalibrate:   "auto",
+		quant:         "off",
 	}
 }
 
@@ -415,6 +419,13 @@ func newServer(cfg config) (*server, error) {
 	if cfg.cacheSize < 0 {
 		return nil, fmt.Errorf("cache = %d, want >= 0 (0 disables)", cfg.cacheSize)
 	}
+	quant, err := hybridlsh.ParseQuantMode(cfg.quant)
+	if err != nil {
+		return nil, fmt.Errorf("quant = %q, want off or sq8", cfg.quant)
+	}
+	if quant != hybridlsh.QuantOff && cfg.metric != "l2" {
+		return nil, fmt.Errorf("quant = %q applies to -metric l2 only", cfg.quant)
+	}
 	loadedFrom := ""
 	be, err := loadBackend(&cfg)
 	if err != nil {
@@ -423,7 +434,7 @@ func newServer(cfg config) (*server, error) {
 	if be != nil {
 		loadedFrom = cfg.snapshot
 	} else {
-		opts := []hybridlsh.Option{hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards)}
+		opts := []hybridlsh.Option{hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards), hybridlsh.WithQuant(quant)}
 		if cfg.tables > 0 {
 			opts = append(opts, hybridlsh.WithTables(cfg.tables))
 		}
@@ -1268,6 +1279,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"covering":      cover,
 		"recalibration": recal,
 		"cache":         cache,
+		"store":         topo.Store,
 		"drift":         s.metrics.Drift.Snapshot(),
 		"latency_us": map[string]any{
 			"p50":   p[0],
@@ -1299,6 +1311,8 @@ func (s *server) logFinalMetrics() {
 		"drift_time_ratio":     d.TimeRatio,
 		"cost_refits_total":    refits,
 		"cache_hits":           topo.CacheHits,
+		"store_verified":       topo.Store.Verified,
+		"store_quant_rejected": topo.Store.QuantRejected,
 		"uptime_sec":           time.Since(s.start).Seconds(),
 	})
 	if err != nil {

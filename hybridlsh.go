@@ -102,6 +102,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 	"repro/internal/vector"
 )
 
@@ -169,6 +170,7 @@ func newHammingCore(points []Binary, r float64, o options) (*core.Index[Binary],
 		Family:   lsh.NewBitSampling(points[0].Dim),
 		Distance: distance.Hamming,
 		Radius:   r,
+		Store:    pointstore.BinaryHammingBuilder(),
 	})
 	return core.NewIndex(points, cfg)
 }
@@ -262,6 +264,7 @@ func newL2Core(points []Dense, r float64, o options) (*core.Index[Dense], error)
 		Family:   lsh.NewPStableL2(len(points[0]), w),
 		Distance: distance.L2,
 		Radius:   r,
+		Store:    pointstore.DenseL2Builder(o.quant),
 	})
 	if cfg.K == 0 {
 		cfg.K = 7 // the paper's L2 setting for δ = 0.1

@@ -30,6 +30,9 @@ type RunMeta struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// Quant is the point-store quantization mode the run benchmarked
+	// ("off" or "sq8"; empty in reports that predate the mode).
+	Quant string `json:"quant,omitempty"`
 }
 
 // JSONReport is the machine-readable form of one hybridbench run: the
@@ -49,6 +52,7 @@ type JSONReport struct {
 	Serve      *ServeResult      `json:"serve,omitempty"`
 	Recal      *RecalResult      `json:"recal,omitempty"`
 	Cache      *CacheResult      `json:"cache,omitempty"`
+	Quant      *QuantResult      `json:"quant,omitempty"`
 }
 
 // NewJSONReport starts an empty report for the given configuration,
@@ -98,6 +102,13 @@ func (r *JSONReport) AddRecal(res *RecalResult) { r.Recal = res }
 
 // AddCache records the result-cache experiment of the run.
 func (r *JSONReport) AddCache(res *CacheResult) { r.Cache = res }
+
+// AddQuant records the candidate-verification experiment of the run and
+// stamps the benchmarked quantization mode into the run meta.
+func (r *JSONReport) AddQuant(res *QuantResult) {
+	r.Quant = res
+	r.Meta.Quant = res.Mode
+}
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

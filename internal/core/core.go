@@ -22,6 +22,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/hll"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 )
 
 // Strategy identifies which search path answered a query.
@@ -104,6 +105,11 @@ type Config[P any] struct {
 	Cost CostModel
 	// Seed makes the whole index deterministic.
 	Seed uint64
+	// Store picks the point layout backing candidate verification; nil
+	// defaults to the generic []P layout driven by Distance. The metric
+	// constructors wire specialized struct-of-arrays layouts here
+	// (pointstore.DenseL2Builder, pointstore.BinaryHammingBuilder).
+	Store pointstore.Builder[P]
 }
 
 // DefaultCostModel is used when Config.Cost is zero. β/α = 8 sits between
@@ -120,7 +126,7 @@ var DefaultCostModel = CostModel{Alpha: 1, Beta: 8}
 // and guards each with its own RWMutex — that is the supported
 // concurrent path; do not add ad-hoc locking around a shared Index.
 type Index[P any] struct {
-	points []P
+	store  pointstore.Store[P]
 	dist   distance.Func[P]
 	family lsh.Family[P]
 	radius float64
@@ -137,13 +143,15 @@ type Index[P any] struct {
 
 // queryState is the per-query scratch: the generation-stamped visited
 // array used for duplicate removal (the paper's step S2), the HLL merge
-// target, and the bucket-lookup slice. Pooling it keeps Query
+// target, the bucket-lookup slice, and the deduplicated candidate-id
+// buffer handed to the store's batch verifier. Pooling it keeps Query
 // allocation-free in steady state.
 type queryState struct {
 	visited []uint32
 	gen     uint32
 	sketch  *hll.Sketch
 	buckets []*lsh.Bucket
+	cand    []int32
 }
 
 // NewIndex builds the hybrid index: L hash tables with per-bucket HLLs
@@ -205,8 +213,15 @@ func NewIndex[P any](points []P, cfg Config[P]) (*Index[P], error) {
 		return nil, err
 	}
 
+	if cfg.Store == nil {
+		cfg.Store = pointstore.GenericBuilder(cfg.Distance)
+	}
+	store, err := cfg.Store(points)
+	if err != nil {
+		return nil, err
+	}
 	ix := &Index[P]{
-		points: points,
+		store:  store,
 		dist:   cfg.Distance,
 		family: cfg.Family,
 		radius: cfg.Radius,
@@ -223,7 +238,7 @@ func NewIndex[P any](points []P, cfg Config[P]) (*Index[P], error) {
 // initStatePool wires the per-query scratch pool; both NewIndex and
 // Restore call it once the point count and sketch geometry are known.
 func (ix *Index[P]) initStatePool() {
-	n := len(ix.points)
+	n := ix.store.Len()
 	m := ix.tables.Params().HLLRegisters
 	ix.states.New = func() any {
 		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
@@ -243,6 +258,9 @@ type RestoreConfig[P any] struct {
 	// concatenation length k is taken from the tables' Params.
 	Radius, Delta, P1 float64
 	Cost              CostModel
+	// Store picks the point layout (see Config.Store); nil defaults to
+	// the generic layout over Distance.
+	Store pointstore.Builder[P]
 }
 
 // Restore reassembles an Index from a decoded snapshot without
@@ -276,8 +294,15 @@ func Restore[P any](points []P, tables *lsh.Tables[P], cfg RestoreConfig[P]) (*I
 	if !cfg.Cost.Usable() {
 		return nil, fmt.Errorf("core: Restore cost = %+v, want positive finite constants", cfg.Cost)
 	}
+	if cfg.Store == nil {
+		cfg.Store = pointstore.GenericBuilder(cfg.Distance)
+	}
+	store, err := cfg.Store(points)
+	if err != nil {
+		return nil, err
+	}
 	ix := &Index[P]{
-		points: points,
+		store:  store,
 		dist:   cfg.Distance,
 		family: cfg.Family,
 		radius: cfg.Radius,
@@ -292,7 +317,7 @@ func Restore[P any](points []P, tables *lsh.Tables[P], cfg RestoreConfig[P]) (*I
 }
 
 // N returns the number of indexed points.
-func (ix *Index[P]) N() int { return len(ix.points) }
+func (ix *Index[P]) N() int { return ix.store.Len() }
 
 // Radius returns the reporting radius the index was built for.
 func (ix *Index[P]) Radius() float64 { return ix.radius }
@@ -309,8 +334,14 @@ func (ix *Index[P]) Delta() float64 { return ix.delta }
 func (ix *Index[P]) Family() lsh.Family[P] { return ix.family }
 
 // Points exposes the stored point slice (read-only; mutating it corrupts
-// the index). It exists for serialization.
-func (ix *Index[P]) Points() []P { return ix.points }
+// the index). It exists for serialization. With a struct-of-arrays
+// layout the returned headers alias the store's flat backing; they stay
+// id-aligned, which the shard compaction hand-off relies on.
+func (ix *Index[P]) Points() []P { return ix.store.Slice() }
+
+// StoreStats returns the point store's layout and verification counters
+// (quantization mode, pre-filter rejections, refits).
+func (ix *Index[P]) StoreStats() pointstore.Stats { return ix.store.Stats() }
 
 // L returns the number of hash tables.
 func (ix *Index[P]) L() int { return ix.tables.L() }
@@ -344,11 +375,11 @@ func (ix *Index[P]) Tables() *lsh.Tables[P] { return ix.tables }
 // DistanceTo returns the index metric's distance between stored point id
 // and q. It panics if id is out of range.
 func (ix *Index[P]) DistanceTo(id int32, q P) float64 {
-	return ix.dist(ix.points[id], q)
+	return ix.dist(ix.store.At(id), q)
 }
 
 // Point returns the stored point with the given id.
-func (ix *Index[P]) Point(id int32) P { return ix.points[id] }
+func (ix *Index[P]) Point(id int32) P { return ix.store.At(id) }
 
 // Append adds points to the index, assigning ids from the current N
 // upward. The per-bucket sketches are maintained incrementally (HLLs only
@@ -368,8 +399,7 @@ func (ix *Index[P]) Append(points []P) error {
 	if err := ix.tables.Append(points); err != nil {
 		return err
 	}
-	ix.points = append(ix.points, points...)
-	return nil
+	return ix.store.Append(points)
 }
 
 // Compact returns a new index without the points marked dead
@@ -390,8 +420,8 @@ func (ix *Index[P]) Append(points []P) error {
 // the receiver but not with Append (the usual single-writer contract).
 // If no point is marked dead the receiver itself is returned.
 func (ix *Index[P]) Compact(dead []bool) (*Index[P], error) {
-	if len(dead) != len(ix.points) {
-		return nil, fmt.Errorf("core: Compact with %d dead flags for %d points", len(dead), len(ix.points))
+	if len(dead) != ix.store.Len() {
+		return nil, fmt.Errorf("core: Compact with %d dead flags for %d points", len(dead), ix.store.Len())
 	}
 	remap := make([]int32, len(dead))
 	live := 0
@@ -403,21 +433,19 @@ func (ix *Index[P]) Compact(dead []bool) (*Index[P], error) {
 		remap[i] = int32(live)
 		live++
 	}
-	if live == len(ix.points) {
+	if live == ix.store.Len() {
 		return ix, nil
 	}
-	points := make([]P, 0, live)
-	for i := range ix.points {
-		if !dead[i] {
-			points = append(points, ix.points[i])
-		}
+	store, err := ix.store.Compact(dead, live)
+	if err != nil {
+		return nil, err
 	}
 	tables, err := ix.tables.Compact(remap, live)
 	if err != nil {
 		return nil, err
 	}
 	nix := &Index[P]{
-		points: points,
+		store:  store,
 		dist:   ix.dist,
 		family: ix.family,
 		radius: ix.radius,
@@ -500,8 +528,8 @@ func (s QueryStats) EstimateErrorRatio() (float64, bool) {
 // index has been appended to since the state was created.
 func (ix *Index[P]) getState() *queryState {
 	st := ix.states.Get().(*queryState)
-	if len(st.visited) < len(ix.points) {
-		st.visited = make([]uint32, len(ix.points))
+	if n := ix.store.Len(); len(st.visited) < n {
+		st.visited = make([]uint32, n)
 		st.gen = 0
 	}
 	return st
@@ -515,7 +543,7 @@ func (ix *Index[P]) decide(buckets []*lsh.Bucket, st *queryState, stats *QuerySt
 	// consistent (α, β) pair even when SetCost swaps the model mid-query.
 	cost := *ix.cost.Load()
 	stats.Collisions = lsh.Collisions(buckets)
-	stats.LinearCost = cost.LinearCost(len(ix.points))
+	stats.LinearCost = cost.LinearCost(ix.store.Len())
 	// Short-circuit 1: candSize ≤ #collisions, so if the pessimistic
 	// LSHCost already beats linear there is nothing to estimate.
 	if upper := cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
@@ -628,9 +656,13 @@ func (ix *Index[P]) DecideStrategy(q P) (Strategy, QueryStats) {
 	return stats.Strategy, stats
 }
 
-// searchBuckets is the paper's steps S2 + S3: walk the probed buckets,
-// remove duplicates with a generation-stamped visited array, compute the
-// distance of each distinct candidate, and report those within the radius.
+// searchBuckets is the paper's steps S2 + S3, restructured for batch
+// verification: walk the probed buckets and remove duplicates with the
+// generation-stamped visited array (S2), collecting the distinct
+// candidate ids into the pooled scratch buffer, then hand the whole
+// batch to the store's VerifyRadius (S3) — which runs the unrolled
+// distance kernels over its own layout and, when quantized, pre-filters
+// against the SQ8 copy before the exact re-check.
 func (ix *Index[P]) searchBuckets(q P, buckets []*lsh.Bucket, st *queryState, stats *QueryStats) []int32 {
 	st.gen++
 	if st.gen == 0 {
@@ -639,32 +671,27 @@ func (ix *Index[P]) searchBuckets(q P, buckets []*lsh.Bucket, st *queryState, st
 		st.gen = 1
 	}
 	gen := st.gen
-	var out []int32
+	cand := st.cand[:0]
 	for _, b := range buckets {
 		for _, id := range b.IDs {
 			if st.visited[id] == gen {
 				continue
 			}
 			st.visited[id] = gen
-			stats.Candidates++
-			if ix.dist(ix.points[id], q) <= ix.radius {
-				out = append(out, id)
-			}
+			cand = append(cand, id)
 		}
 	}
+	st.cand = cand
+	stats.Candidates = len(cand)
+	out := ix.store.VerifyRadius(q, cand, ix.radius, nil)
 	stats.Results = len(out)
 	return out
 }
 
 // searchLinear scans all points; it is exact.
 func (ix *Index[P]) searchLinear(q P, stats *QueryStats) []int32 {
-	var out []int32
-	for i := range ix.points {
-		if ix.dist(ix.points[i], q) <= ix.radius {
-			out = append(out, int32(i))
-		}
-	}
-	stats.Candidates = len(ix.points)
+	out := ix.store.ScanRadius(q, ix.radius, nil)
+	stats.Candidates = ix.store.Len()
 	stats.Results = len(out)
 	return out
 }

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/pointstore"
+
 // Store is the index contract the shard package builds on: one shard is
 // any hybrid index that can report its size, expose its point slice for
 // snapshots and compaction absorption, answer hybrid queries, grow by
@@ -54,6 +56,14 @@ type ProbeQuerier[P any] interface {
 // reject such requests instead of relying on the clamp.
 type RadiusQuerier[P any] interface {
 	QueryRadius(q P, r int) ([]int32, QueryStats)
+}
+
+// StoreStatser is implemented by stores that can report their point
+// store's layout and verification counters (quantization mode, SQ8
+// pre-filter rejections, refits); the serving layer aggregates these
+// across shards for /stats and /metrics.
+type StoreStatser interface {
+	StoreStats() pointstore.Stats
 }
 
 // CompactStore implements Store by delegating to Compact.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 	"repro/internal/rng"
 	"repro/internal/storetest"
 	"repro/internal/vector"
@@ -69,47 +70,74 @@ func clusteredBinary(n int, seed uint64) []vector.Binary {
 	return pts
 }
 
+// denseIndex builds the L2 conformance index over the given store
+// layout (nil = the generic default).
+func denseIndex(t *testing.T, pts []vector.Dense, seed uint64, store pointstore.Builder[vector.Dense]) core.Store[vector.Dense] {
+	t.Helper()
+	ix, err := core.NewIndex(pts, core.Config[vector.Dense]{
+		Family:       lsh.NewPStableL2(8, 0.6),
+		Distance:     distance.L2,
+		Radius:       0.3,
+		K:            6,
+		L:            8,
+		HLLRegisters: 16,
+		HLLThreshold: 4,
+		Seed:         seed,
+		Store:        store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
 func TestStoreContractL2(t *testing.T) {
 	storetest.Run(t, storetest.Harness[vector.Dense]{
 		Name: "core-l2",
 		New: func(t *testing.T, pts []vector.Dense, seed uint64) core.Store[vector.Dense] {
-			ix, err := core.NewIndex(pts, core.Config[vector.Dense]{
-				Family:       lsh.NewPStableL2(8, 0.6),
-				Distance:     distance.L2,
-				Radius:       0.3,
-				K:            6,
-				L:            8,
-				HLLRegisters: 16,
-				HLLThreshold: 4,
-				Seed:         seed,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			return ix
+			return denseIndex(t, pts, seed, nil)
+		},
+		// Generic exact store vs SQ8-quantized flat store: the
+		// pre-filter + exact-recheck pipeline must answer id-for-id
+		// what the plain exact loop answers.
+		NewQuant: func(t *testing.T, pts []vector.Dense, seed uint64) core.Store[vector.Dense] {
+			return denseIndex(t, pts, seed, pointstore.DenseL2Builder(pointstore.ModeSQ8))
 		},
 		Data: clusteredDense,
 	})
+}
+
+// binaryIndex builds the Hamming conformance index over the given
+// store layout (nil = the generic default).
+func binaryIndex(t *testing.T, pts []vector.Binary, seed uint64, store pointstore.Builder[vector.Binary]) core.Store[vector.Binary] {
+	t.Helper()
+	ix, err := core.NewIndex(pts, core.Config[vector.Binary]{
+		Family:       lsh.NewBitSampling(64),
+		Distance:     distance.Hamming,
+		Radius:       6,
+		K:            8,
+		L:            8,
+		HLLRegisters: 16,
+		HLLThreshold: 4,
+		Seed:         seed,
+		Store:        store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
 }
 
 func TestStoreContractHamming(t *testing.T) {
 	storetest.Run(t, storetest.Harness[vector.Binary]{
 		Name: "core-hamming",
 		New: func(t *testing.T, pts []vector.Binary, seed uint64) core.Store[vector.Binary] {
-			ix, err := core.NewIndex(pts, core.Config[vector.Binary]{
-				Family:       lsh.NewBitSampling(64),
-				Distance:     distance.Hamming,
-				Radius:       6,
-				K:            8,
-				L:            8,
-				HLLRegisters: 16,
-				HLLThreshold: 4,
-				Seed:         seed,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			return ix
+			return binaryIndex(t, pts, seed, nil)
+		},
+		// Binary has no quantized encoding; the alternative build pins
+		// the generic-vs-flat-words layout equivalence instead.
+		NewQuant: func(t *testing.T, pts []vector.Binary, seed uint64) core.Store[vector.Binary] {
+			return binaryIndex(t, pts, seed, pointstore.BinaryHammingBuilder())
 		},
 		Data: clusteredBinary,
 	})

@@ -37,6 +37,7 @@ import (
 	"repro/internal/hashutil"
 	"repro/internal/hll"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 	"repro/internal/rng"
 	"repro/internal/vector"
 )
@@ -90,7 +91,7 @@ func (cfg Config) withDefaults() (Config, error) {
 // with queries or another Append (wrap in shard.Sharded for concurrent
 // mutation).
 type Index struct {
-	points []vector.Binary
+	store  *pointstore.FlatBinary
 	radius int
 	dim    int
 	m      int
@@ -162,6 +163,7 @@ func New(points []vector.Binary, r int, cfg Config) (*Index, error) {
 	}
 
 	ix := &Index{
+		store:  pointstore.EmptyFlatBinary(dim),
 		radius: r,
 		dim:    dim,
 		m:      cfg.HLLRegisters,
@@ -214,8 +216,12 @@ func Restore(points []vector.Binary, r int, phi []uint32, seed uint64, tables []
 			return nil, fmt.Errorf("covering: Restore table %d is nil", t)
 		}
 	}
+	store := pointstore.EmptyFlatBinary(dim)
+	if err := store.Append(points); err != nil {
+		return nil, err
+	}
 	ix := &Index{
-		points: points,
+		store:  store,
 		radius: r,
 		dim:    dim,
 		m:      cfg.HLLRegisters,
@@ -239,11 +245,12 @@ type queryState struct {
 	gen     uint32
 	sketch  *hll.Sketch
 	buckets []*lsh.Bucket
+	cand    []int32
 }
 
 // initStatePool wires the scratch pool once n and m are known.
 func (ix *Index) initStatePool() {
-	n := len(ix.points)
+	n := ix.store.Len()
 	m := ix.m
 	ix.states.New = func() any {
 		return &queryState{visited: make([]uint32, n), sketch: hll.New(m)}
@@ -254,8 +261,8 @@ func (ix *Index) initStatePool() {
 // index has been appended to since the state was created.
 func (ix *Index) getState() *queryState {
 	st := ix.states.Get().(*queryState)
-	if len(st.visited) < len(ix.points) {
-		st.visited = make([]uint32, len(ix.points))
+	if n := ix.store.Len(); len(st.visited) < n {
+		st.visited = make([]uint32, n)
 		st.gen = 0
 	}
 	return st
@@ -281,11 +288,16 @@ func maskedKey(p, mask vector.Binary) uint64 {
 }
 
 // N returns the number of indexed points.
-func (ix *Index) N() int { return len(ix.points) }
+func (ix *Index) N() int { return ix.store.Len() }
 
 // Points exposes the stored point slice (read-only); it exists for
-// serialization and the shard layer's compaction absorption.
-func (ix *Index) Points() []vector.Binary { return ix.points }
+// serialization and the shard layer's compaction absorption. The
+// returned headers alias the store's flat word backing, id-aligned.
+func (ix *Index) Points() []vector.Binary { return ix.store.Slice() }
+
+// StoreStats returns the point store's layout and verification counters
+// (core.StoreStatser).
+func (ix *Index) StoreStats() pointstore.Stats { return ix.store.Stats() }
 
 // Dim returns the bit width the index was built for.
 func (ix *Index) Dim() int { return ix.dim }
@@ -347,7 +359,7 @@ func (ix *Index) Append(points []vector.Binary) error {
 			return fmt.Errorf("covering: Append point %d has dim %d, index dim is %d", i, p.Dim, ix.dim)
 		}
 	}
-	base := len(ix.points)
+	base := ix.store.Len()
 	if int64(base)+int64(len(points)) > int64(1)<<31-1 {
 		return fmt.Errorf("covering: Append would overflow the int32 id space (%d + %d)", base, len(points))
 	}
@@ -373,7 +385,9 @@ func (ix *Index) Append(points []vector.Binary) error {
 			}
 		}
 	}
-	ix.points = append(ix.points, points...)
+	if err := ix.store.Append(points); err != nil {
+		return err
+	}
 	// Re-wire the pool for the grown point count (Append is the single
 	// writer, so no query holds a state concurrently): without this,
 	// every pool miss would allocate a stale-sized visited slice that
@@ -393,8 +407,8 @@ func (ix *Index) Append(points []vector.Binary) error {
 // receiver is read, not modified, and stays fully usable; if no point is
 // marked dead the receiver itself is returned.
 func (ix *Index) Compact(dead []bool) (*Index, error) {
-	if len(dead) != len(ix.points) {
-		return nil, fmt.Errorf("covering: Compact with %d dead flags for %d points", len(dead), len(ix.points))
+	if len(dead) != ix.store.Len() {
+		return nil, fmt.Errorf("covering: Compact with %d dead flags for %d points", len(dead), ix.store.Len())
 	}
 	remap := make([]int32, len(dead))
 	live := 0
@@ -406,14 +420,12 @@ func (ix *Index) Compact(dead []bool) (*Index, error) {
 		remap[i] = int32(live)
 		live++
 	}
-	if live == len(ix.points) {
+	if live == ix.store.Len() {
 		return ix, nil
 	}
-	points := make([]vector.Binary, 0, live)
-	for i := range ix.points {
-		if !dead[i] {
-			points = append(points, ix.points[i])
-		}
+	cstore, err := ix.store.Compact(dead, live)
+	if err != nil {
+		return nil, err
 	}
 	tables := make([]map[uint64]*lsh.Bucket, len(ix.tables))
 	for t, src := range ix.tables {
@@ -441,7 +453,7 @@ func (ix *Index) Compact(dead []bool) (*Index, error) {
 		tables[t] = dst
 	}
 	nix := &Index{
-		points: points,
+		store:  cstore.(*pointstore.FlatBinary),
 		radius: ix.radius,
 		dim:    ix.dim,
 		m:      ix.m,
@@ -504,7 +516,7 @@ func (ix *Index) Lookup(q vector.Binary) []*lsh.Bucket {
 func (ix *Index) decide(buckets []*lsh.Bucket, st *queryState, stats *core.QueryStats) core.Strategy {
 	cost := *ix.cost.Load()
 	stats.Collisions = lsh.Collisions(buckets)
-	stats.LinearCost = cost.LinearCost(len(ix.points))
+	stats.LinearCost = cost.LinearCost(ix.store.Len())
 	if upper := cost.LSHCost(stats.Collisions, float64(stats.Collisions)); upper < stats.LinearCost {
 		stats.EstCandidates = float64(stats.Collisions)
 		stats.LSHCost = upper
@@ -633,31 +645,26 @@ func (ix *Index) searchBuckets(q vector.Binary, r int, buckets []*lsh.Bucket, st
 		st.gen = 1
 	}
 	gen := st.gen
-	var out []int32
+	cand := st.cand[:0]
 	for _, b := range buckets {
 		for _, id := range b.IDs {
 			if st.visited[id] == gen {
 				continue
 			}
 			st.visited[id] = gen
-			stats.Candidates++
-			if vector.Hamming(ix.points[id], q) <= r {
-				out = append(out, id)
-			}
+			cand = append(cand, id)
 		}
 	}
+	st.cand = cand
+	stats.Candidates = len(cand)
+	out := ix.store.VerifyRadius(q, cand, float64(r), nil)
 	stats.Results = len(out)
 	return out
 }
 
 func (ix *Index) searchLinear(q vector.Binary, r int, stats *core.QueryStats) []int32 {
-	var out []int32
-	for i := range ix.points {
-		if vector.Hamming(ix.points[i], q) <= r {
-			out = append(out, int32(i))
-		}
-	}
-	stats.Candidates = len(ix.points)
+	out := ix.store.ScanRadius(q, float64(r), nil)
+	stats.Candidates = ix.store.Len()
 	stats.Results = len(out)
 	return out
 }

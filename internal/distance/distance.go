@@ -59,6 +59,13 @@ func L1(a, b vector.Dense) float64 { return vector.L1(a, b) }
 // L2 is the Euclidean distance on dense vectors.
 func L2(a, b vector.Dense) float64 { return vector.L2(a, b) }
 
+// L2Sq is the squared Euclidean distance on dense vectors. Radius
+// verification compares it against r² — monotonicity of the square root
+// makes that equivalent to comparing L2 against r — so the hot filter
+// loops skip the per-candidate math.Sqrt. Reported distances (DistanceTo,
+// calibration) still use L2.
+func L2Sq(a, b vector.Dense) float64 { return vector.L2Sq(a, b) }
+
 // Cosine is the cosine distance 1 − cos(a, b) on sparse vectors, the
 // measure used for the Webspam experiments. It ranges over [0, 2].
 func Cosine(a, b vector.Sparse) float64 {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 	"repro/internal/vector"
 )
 
@@ -74,6 +75,11 @@ type Config struct {
 	Cost core.CostModel
 	// Seed fixes construction randomness.
 	Seed uint64
+	// Store picks the point layout backing candidate verification (see
+	// core.Config.Store); nil defaults to the generic layout over
+	// Distance. Wire pointstore.DenseL2Builder only when Distance is L2 —
+	// the flat layout's kernels are metric-specific.
+	Store pointstore.Builder[vector.Dense]
 }
 
 // Index is a multi-probe LSH structure with per-bucket HLL sketches and
@@ -133,6 +139,7 @@ func New(points []vector.Dense, cfg Config) (*Index, error) {
 		HLLThreshold: cfg.HLLThreshold,
 		Cost:         cfg.Cost,
 		Seed:         cfg.Seed,
+		Store:        cfg.Store,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("multiprobe: %w", err)
@@ -175,6 +182,10 @@ func (ix *Index) N() int { return ix.ix.N() }
 // Points exposes the stored point slice (read-only); it exists for
 // serialization and the shard layer's compaction absorption.
 func (ix *Index) Points() []vector.Dense { return ix.ix.Points() }
+
+// StoreStats returns the wrapped index's point-store layout and
+// verification counters (core.StoreStatser).
+func (ix *Index) StoreStats() pointstore.Stats { return ix.ix.StoreStats() }
 
 // Radius returns the reporting radius the index was built for.
 func (ix *Index) Radius() float64 { return ix.ix.Radius() }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 	"repro/internal/rng"
 	"repro/internal/storetest"
 	"repro/internal/vector"
@@ -49,6 +50,18 @@ func TestStoreContract(t *testing.T) {
 		New: func(t *testing.T, pts []vector.Dense, seed uint64) core.Store[vector.Dense] {
 			cfg := testConfig(lsh.NewPStableL2(dataset.CorelDim, 0.9))
 			cfg.Seed = seed
+			ix, err := New(pts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		},
+		// Same build over the SQ8-quantized flat store: the widened
+		// probe sequences must verify to id-identical answers.
+		NewQuant: func(t *testing.T, pts []vector.Dense, seed uint64) core.Store[vector.Dense] {
+			cfg := testConfig(lsh.NewPStableL2(dataset.CorelDim, 0.9))
+			cfg.Seed = seed
+			cfg.Store = pointstore.DenseL2Builder(pointstore.ModeSQ8)
 			ix, err := New(pts, cfg)
 			if err != nil {
 				t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/hll"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 	"repro/internal/vector"
 )
 
@@ -21,9 +22,10 @@ type indexMeta struct {
 	costAlpha         float64
 	costBeta          float64
 	params            lsh.Params
-	w                 float64   // p-stable slot width (l1/l2 only)
-	curve             []float64 // cross-polytope calibrated curve (angular only)
-	probes            int       // multi-probe T from the optional "prob" section (0 = plain)
+	w                 float64         // p-stable slot width (l1/l2 only)
+	curve             []float64       // cross-polytope calibrated curve (angular only)
+	probes            int             // multi-probe T from the optional "prob" section (0 = plain)
+	quant             pointstore.Mode // quantization mode from the optional "quan" section (l2 only)
 }
 
 // codec binds one metric identifier to its point type P: the distance
@@ -40,6 +42,11 @@ type codec[P any] struct {
 	readPoints  func(d *dec, m *indexMeta) ([]P, error)
 	writeHasher func(e *enc, m *indexMeta, h lsh.Hasher[P]) error
 	readHasher  func(d *dec, m *indexMeta) (lsh.Hasher[P], error)
+	// store picks the point-store builder a restored index verifies
+	// through (nil, or a nil return, falls back to core's generic
+	// store). The l2 codec honors the decoded "quan" mode here, so an
+	// SQ8 snapshot refits its quantized copy on hydrate.
+	store func(m *indexMeta) pointstore.Builder[P]
 }
 
 // codecFor resolves metric to its codec, checking that the caller's
@@ -78,6 +85,9 @@ func codecFor[P any](metric string) (*codec[P], error) {
 			readPoints:  readBinaryPoints,
 			writeHasher: writeBitSamplingHasher,
 			readHasher:  readBitSamplingHasher,
+			store: func(*indexMeta) pointstore.Builder[vector.Binary] {
+				return pointstore.BinaryHammingBuilder()
+			},
 		}
 	case MetricJaccard:
 		c = &codec[vector.Binary]{
@@ -149,6 +159,12 @@ func pstableCodec(metric, familyName string, dist distance.Func[vector.Dense],
 		readPoints:  readDensePoints,
 		writeHasher: writePStableHasher,
 		readHasher:  readPStableHasher,
+		store: func(m *indexMeta) pointstore.Builder[vector.Dense] {
+			if metric != MetricL2 {
+				return nil // the flat kernels compute squared L2; L1 keeps the generic store
+			}
+			return pointstore.DenseL2Builder(m.quant)
+		},
 	}
 }
 

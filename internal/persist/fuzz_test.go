@@ -9,6 +9,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/lsh"
 	"repro/internal/multiprobe"
+	"repro/internal/pointstore"
 	"repro/internal/shard"
 	"repro/internal/vector"
 )
@@ -148,6 +149,16 @@ func seedCorpus(f *testing.F) {
 	if ix, err := core.NewIndex(sparseData(24, 24, 5, 3), ccfg); err == nil {
 		var buf bytes.Buffer
 		if _, err := WriteIndex(&buf, MetricCosine, ix); err == nil {
+			add(buf.Bytes())
+		}
+	}
+	// Quantized L2 (exercises the optional "quan" section and the
+	// SQ8 refit on hydrate).
+	qcfg := mkCfg()
+	qcfg.Store = pointstore.DenseL2Builder(pointstore.ModeSQ8)
+	if ix, err := core.NewIndex(denseData(24, 4, 10), qcfg); err == nil {
+		var buf bytes.Buffer
+		if _, err := WriteIndex(&buf, MetricL2, ix); err == nil {
 			add(buf.Bytes())
 		}
 	}

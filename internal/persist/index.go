@@ -9,6 +9,7 @@ import (
 	"repro/internal/hll"
 	"repro/internal/lsh"
 	"repro/internal/multiprobe"
+	"repro/internal/pointstore"
 	"repro/internal/vector"
 )
 
@@ -125,12 +126,13 @@ func publicMeta(m *indexMeta, shards int) Meta {
 		L:      m.params.L,
 		Shards: shards,
 		Probes: m.probes,
+		Quant:  m.quant.String(),
 		Seed:   m.params.Seed,
 	}
 }
 
-// writeIndexParts writes the "meta", optional "prob", "pnts" and L
-// "tabl" sections of one index. points is passed separately so the
+// writeIndexParts writes the "meta", optional "prob"/"quan", "pnts" and
+// L "tabl" sections of one index. points is passed separately so the
 // sharded writer can substitute a compacted point set (with buckets
 // supplying the matching compacted tables: when buckets is non-nil,
 // buckets[j] replaces table j's bucket map). The hashers always come
@@ -179,6 +181,15 @@ func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points 
 		}
 	}
 
+	// The quantized copy is a derived structure — only its mode is
+	// recorded (the reader refits it from the exact points), and only
+	// when it is on, so exact-only snapshots keep their original bytes.
+	if mode, err := pointstore.ParseMode(ix.StoreStats().Quant); err == nil && mode != pointstore.ModeOff {
+		if err := writeQuantSection(w, mode); err != nil {
+			return err
+		}
+	}
+
 	e = enc{}
 	if err := c.writePoints(&e, m, points); err != nil {
 		return err
@@ -207,10 +218,12 @@ func writeIndexParts[P any](w io.Writer, c *codec[P], ix *core.Index[P], points 
 	return nil
 }
 
-// readIndexBody reads the "meta", optional "prob", "pnts" and L "tabl"
-// sections and reassembles the index; a present "prob" section is
-// recorded in the returned meta's probes field for the caller to act
-// on.
+// readIndexBody reads the "meta", optional "prob"/"quan", "pnts" and L
+// "tabl" sections and reassembles the index; a present "prob" section
+// is recorded in the returned meta's probes field for the caller to act
+// on, and a present "quan" section selects the quantization mode of the
+// point store the index is rebuilt over (the quantized copy itself is
+// refit from the exact points).
 func readIndexBody[P any](ss *sectionStream, c *codec[P]) (*core.Index[P], *indexMeta, error) {
 	payload, err := ss.read("meta")
 	if err != nil {
@@ -223,6 +236,13 @@ func readIndexBody[P any](ss *sectionStream, c *codec[P]) (*core.Index[P], *inde
 
 	if m.probes, err = ss.readProbeSection(); err != nil {
 		return nil, nil, err
+	}
+
+	if m.quant, err = ss.readQuantSection(); err != nil {
+		return nil, nil, err
+	}
+	if m.quant != pointstore.ModeOff && m.metric != MetricL2 {
+		return nil, nil, corrupt("metric %q snapshot carries a %q quantization section (only %s supports one)", m.metric, m.quant, MetricL2)
 	}
 
 	payload, err = ss.read("pnts")
@@ -267,14 +287,18 @@ func readIndexBody[P any](ss *sectionStream, c *codec[P]) (*core.Index[P], *inde
 	if err != nil {
 		return nil, nil, corrupt("restoring family: %v", err)
 	}
-	ix, err := core.Restore(points, lt, core.RestoreConfig[P]{
+	cfg := core.RestoreConfig[P]{
 		Family:   fam,
 		Distance: c.dist,
 		Radius:   m.radius,
 		Delta:    m.delta,
 		P1:       m.p1,
 		Cost:     core.CostModel{Alpha: m.costAlpha, Beta: m.costBeta},
-	})
+	}
+	if c.store != nil {
+		cfg.Store = c.store(m)
+	}
+	ix, err := core.Restore(points, lt, cfg)
 	if err != nil {
 		return nil, nil, corrupt("restoring index: %v", err)
 	}

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hashutil"
+	"repro/internal/pointstore"
 )
 
 // Builder constructs one shard's index from its point subset. Any
@@ -925,6 +926,10 @@ type Stats struct {
 	CacheEnabled                               bool
 	CacheHits, CacheMisses, CacheInvalidations int64
 	CacheEntries, CacheCapacity                int
+	// Store aggregates the shards' point-store stats — layout,
+	// quantization sizes and the verification counters summed across
+	// shards; the zero value when the shard indexes don't report them.
+	Store pointstore.Stats
 }
 
 // Stats snapshots the topology.
@@ -942,6 +947,11 @@ func (s *Sharded[P]) Stats() Stats {
 		st.ShardQueries[j] = sh.queries.Load()
 		st.ShardQueryNanos[j] = sh.queryNanos.Load()
 		st.ShardAppends[j] = sh.appends.Load()
+		sh.mu.RLock()
+		if ss, ok := sh.ix.(core.StoreStatser); ok {
+			st.Store.Add(ss.StoreStats())
+		}
+		sh.mu.RUnlock()
 	}
 	s.tombMu.RLock()
 	st.DeadInBuckets = append([]int(nil), s.shardDead...)

@@ -12,6 +12,7 @@
 package vector
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -22,13 +23,30 @@ import (
 type Dense []float32
 
 // Dot returns the inner product ⟨a, b⟩. It panics if lengths differ.
+//
+// The loop is 4×-unrolled with the bounds checks hoisted, but it keeps a
+// single accumulator on purpose: the additions happen in the same order
+// as a plain sequential loop, so the result is bit-identical to it. The
+// p-stable hashers derive bucket keys from Dot, and the persist golden
+// tests require a seeded rebuild to reproduce checked-in snapshot bytes —
+// reassociating this sum (multiple accumulators) would move hash keys by
+// an ulp and break that promise.
 func (a Dense) Dot(b Dense) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vector: Dot on mismatched dims %d and %d", len(a), len(b)))
 	}
 	var s float64
-	for i, v := range a {
-		s += float64(v) * float64(b[i])
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s += float64(aa[0]) * float64(bb[0])
+		s += float64(aa[1]) * float64(bb[1])
+		s += float64(aa[2]) * float64(bb[2])
+		s += float64(aa[3]) * float64(bb[3])
+	}
+	for ; i < len(a); i++ {
+		s += float64(a[i]) * float64(b[i])
 	}
 	return s
 }
@@ -74,15 +92,57 @@ func (a Dense) Clone() Dense {
 
 // L2 returns the Euclidean distance between a and b.
 func L2(a, b Dense) float64 {
+	return math.Sqrt(L2Sq(a, b))
+}
+
+// L2Sq returns the squared Euclidean distance between a and b. Radius
+// verification compares it against r² directly, saving the math.Sqrt per
+// candidate that L2 pays; the square root is monotone, so the comparison
+// is unchanged. The loop is 4×-unrolled with four independent
+// accumulators (unlike Dot, nothing downstream depends on the summation
+// order) and the slice headers are re-sliced so the compiler drops the
+// per-element bounds checks.
+func L2Sq(a, b Dense) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vector: L2 on mismatched dims %d and %d", len(a), len(b)))
+		panic(fmt.Sprintf("vector: L2Sq on mismatched dims %d and %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		d := float64(v) - float64(b[i])
-		s += d * d
+	return l2SqRaw(a, b)
+}
+
+// l2SqRaw is L2Sq without the length check, shared with the flat-store
+// batch kernels whose row geometry guarantees matching lengths.
+func l2SqRaw(a, b []float32) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		d0 := float64(aa[0]) - float64(bb[0])
+		d1 := float64(aa[1]) - float64(bb[1])
+		d2 := float64(aa[2]) - float64(bb[2])
+		d3 := float64(aa[3]) - float64(bb[3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return math.Sqrt(s)
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// L2SqToMany writes into dst[k] the squared Euclidean distance between q
+// and row ids[k] of the flat row-major matrix (dim columns). It is the
+// one-to-many companion of L2Sq for struct-of-arrays point stores: the
+// rows are contiguous, so the scan is sequential in memory for sorted
+// ids. dst must have len(ids) room.
+func L2SqToMany(dst []float64, q Dense, flat []float32, dim int, ids []int32) {
+	for k, id := range ids {
+		row := flat[int(id)*dim : int(id)*dim+dim : int(id)*dim+dim]
+		dst[k] = l2SqRaw(q, row)
+	}
 }
 
 // L1 returns the Manhattan distance between a and b.
@@ -103,13 +163,9 @@ func L1(a, b Dense) float64 {
 // as a collision-free lookup key, so two queries share an entry iff they
 // are bit-identical.
 func (a Dense) CacheKey() string {
-	buf := make([]byte, 4*len(a))
-	for i, v := range a {
-		u := math.Float32bits(v)
-		buf[4*i] = byte(u)
-		buf[4*i+1] = byte(u >> 8)
-		buf[4*i+2] = byte(u >> 16)
-		buf[4*i+3] = byte(u >> 24)
+	buf := make([]byte, 0, 4*len(a))
+	for _, v := range a {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 	}
 	return string(buf)
 }
@@ -296,11 +352,39 @@ func Hamming(a, b Binary) int {
 	if a.Dim != b.Dim {
 		panic(fmt.Sprintf("vector: Hamming on mismatched dims %d and %d", a.Dim, b.Dim))
 	}
-	n := 0
-	for i, w := range a.Words {
-		n += bits.OnesCount64(w ^ b.Words[i])
+	return HammingWords(a.Words, b.Words)
+}
+
+// HammingWords returns the popcount of a XOR b over raw word slices; it
+// is the kernel behind Hamming and the flat binary store. The loop is
+// 4×-unrolled with four accumulators (integer addition is associative,
+// so unlike Dot no order constraint applies) and bounds checks are
+// eliminated by re-slicing.
+func HammingWords(a, b []uint64) int {
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		n0 += bits.OnesCount64(aa[0] ^ bb[0])
+		n1 += bits.OnesCount64(aa[1] ^ bb[1])
+		n2 += bits.OnesCount64(aa[2] ^ bb[2])
+		n3 += bits.OnesCount64(aa[3] ^ bb[3])
 	}
-	return n
+	for ; i < len(a); i++ {
+		n0 += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return (n0 + n1) + (n2 + n3)
+}
+
+// HammingToMany writes into dst[k] the Hamming distance between q and
+// row ids[k] of a flat row-major word matrix (wpr words per row). It is
+// the one-to-many companion of Hamming for struct-of-arrays stores.
+func HammingToMany(dst []int, q Binary, words []uint64, wpr int, ids []int32) {
+	for k, id := range ids {
+		row := words[int(id)*wpr : int(id)*wpr+wpr : int(id)*wpr+wpr]
+		dst[k] = HammingWords(q.Words, row)
+	}
 }
 
 // CacheKey returns an exact byte encoding of a, injective over Binary
@@ -308,23 +392,28 @@ func Hamming(a, b Binary) int {
 // (Dim pins the live bits of the last word, which NewBinary zero-pads).
 // Result caches use it as a collision-free lookup key.
 func (a Binary) CacheKey() string {
-	buf := make([]byte, 4+8*len(a.Words))
-	u := uint32(a.Dim)
-	buf[0], buf[1], buf[2], buf[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
-	for i, w := range a.Words {
-		for b := 0; b < 8; b++ {
-			buf[4+8*i+b] = byte(w >> (8 * b))
-		}
+	buf := make([]byte, 0, 4+8*len(a.Words))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Dim))
+	for _, w := range a.Words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
 	}
 	return string(buf)
 }
 
-// ToDense expands a binary vector to a dense 0/1 float vector.
+// ToDense expands a binary vector to a dense 0/1 float vector. It walks
+// set bits word-at-a-time (TrailingZeros64 + clear-lowest-bit) instead
+// of testing each of the Dim positions through the bounds-checked Bit.
 func (a Binary) ToDense() Dense {
 	d := make(Dense, a.Dim)
-	for i := 0; i < a.Dim; i++ {
-		if a.Bit(i) {
+	for wi, w := range a.Words {
+		base := wi << 6
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			if i >= a.Dim {
+				break // padding bits beyond Dim (zero by invariant)
+			}
 			d[i] = 1
+			w &= w - 1
 		}
 	}
 	return d

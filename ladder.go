@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distance"
 	"repro/internal/lsh"
+	"repro/internal/pointstore"
 )
 
 // A hybrid index answers rNNR for the one radius it was built with — the
@@ -111,6 +112,7 @@ func NewL2Ladder(points []Dense, rmin, rmax, c float64, opts ...Option) (*Ladder
 			Family:   lsh.NewPStableL2(dim, w),
 			Distance: distance.L2,
 			Radius:   r,
+			Store:    pointstore.DenseL2Builder(o.quant),
 		})
 		if cfg.K == 0 {
 			cfg.K = 7

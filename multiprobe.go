@@ -7,6 +7,7 @@ import (
 	"repro/internal/distance"
 	"repro/internal/lsh"
 	"repro/internal/multiprobe"
+	"repro/internal/pointstore"
 	"repro/internal/shard"
 )
 
@@ -79,6 +80,7 @@ func newMultiProbeL2Core(points []Dense, r float64, o options) (*multiprobe.Inde
 		HLLThreshold: o.hllThresh,
 		Cost:         o.cost,
 		Seed:         o.seed,
+		Store:        pointstore.DenseL2Builder(o.quant),
 	})
 }
 
