@@ -14,6 +14,7 @@
 //	hybridbench -exp serve             # serving-layer observability overhead (bare vs instrumented)
 //	hybridbench -exp recal             # drift injection: online α/β refit vs a stale cost model
 //	hybridbench -exp cache             # result cache: Zipf traffic, cached vs uncached p50
+//	hybridbench -exp replica           # replicated serving: router overhead, hedge rate, convergence lag
 //	hybridbench -exp all               # everything
 //
 // The -scale flag multiplies the paper's dataset sizes (default 0.05 so a
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, recal, cache, quant, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig2a, fig2b, fig2c, fig2d, fig3, persist, delete, multiprobe, covering, serve, recal, cache, quant, replica, all")
 		quantMode  = flag.String("quant", "sq8", "point-store quantization mode the quant experiment gates on (off or sq8)")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query-set size (paper: 100)")
@@ -57,10 +58,18 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Calibrate = !*paperRatio
 
+	qmode, err := pointstore.ParseMode(*quantMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridbench:", err)
+		os.Exit(1)
+	}
 	var rep *bench.JSONReport
 	var jsonOut *os.File
 	if *jsonPath != "" {
-		rep = bench.NewJSONReport(cfg)
+		// The run meta (environment + quant mode) is stamped once here,
+		// before any experiment runs, so every report this invocation
+		// writes carries an identical meta block.
+		rep = bench.NewJSONReport(cfg, qmode.String())
 		// Open the output before the (potentially minutes-long) run so an
 		// unwritable path fails fast instead of discarding the results.
 		f, err := os.Create(*jsonPath)
@@ -69,11 +78,6 @@ func main() {
 			os.Exit(1)
 		}
 		jsonOut = f
-	}
-	qmode, err := pointstore.ParseMode(*quantMode)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybridbench:", err)
-		os.Exit(1)
 	}
 	if err := run(*exp, cfg, *csvDir, rep, qmode); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridbench:", err)
@@ -123,6 +127,8 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport, qmo
 		return cacheExp(cfg, rep)
 	case "quant":
 		return quantExp(cfg, rep, qmode)
+	case "replica":
+		return replicaExp(cfg, rep)
 	case "all":
 		if err := table1(cfg, csvDir, rep); err != nil {
 			return err
@@ -165,10 +171,30 @@ func run(exp string, cfg bench.Config, csvDir string, rep *bench.JSONReport, qmo
 		if err := cacheExp(cfg, rep); err != nil {
 			return err
 		}
-		return quantExp(cfg, rep, qmode)
+		if err := quantExp(cfg, rep, qmode); err != nil {
+			return err
+		}
+		return replicaExp(cfg, rep)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// replicaExp runs the replicated-serving experiment: router fan-out
+// overhead vs a direct replica hit, the hedge rate, and the delta-tail
+// convergence lag after write bursts, gated on id-identical answers.
+func replicaExp(cfg bench.Config, rep *bench.JSONReport) error {
+	res, err := bench.ReplicaExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Replication — router fan-out vs direct replica, convergence lag")
+	bench.PrintReplica(os.Stdout, res)
+	fmt.Println()
+	if rep != nil {
+		rep.AddReplica(res)
+	}
+	return nil
 }
 
 // quantExp runs the candidate-verification experiment: the same LSH

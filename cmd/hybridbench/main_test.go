@@ -50,7 +50,7 @@ func TestJSONReport(t *testing.T) {
 		t.Skip("runs real sweeps")
 	}
 	cfg := tinyCfg()
-	rep := bench.NewJSONReport(cfg)
+	rep := bench.NewJSONReport(cfg, "off")
 	if err := run("fig2a", cfg, "", rep, pointstore.ModeOff); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/replica"
+)
+
+func TestBuildValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		replicas string
+	}{
+		{"empty", ""},
+		{"only-commas", " , ,"},
+		{"not-a-url", "replica1:8080"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultRouterConfig()
+			cfg.replicas = tc.replicas
+			if _, err := build(cfg); err == nil {
+				t.Fatalf("build accepted -replicas %q", tc.replicas)
+			}
+		})
+	}
+}
+
+// TestBuildRoutesToReplica wires the built router against a stub
+// replica and proxies one query through the exact handler main serves.
+func TestBuildRoutesToReplica(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ids":[7]}`)
+	})
+	mux.HandleFunc("GET /replica/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(replica.StatusResponse{Role: "follower", Epoch: 1, Seq: 3})
+	})
+	rep := httptest.NewServer(mux)
+	defer rep.Close()
+
+	cfg := defaultRouterConfig()
+	cfg.replicas = rep.URL + " , " // trailing separators are tolerated
+	rt, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"point":[0]}`)))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `[7]`) {
+		t.Fatalf("proxied query: status %d body %q", rec.Code, rec.Body.String())
+	}
+
+	// The registry the binary exposes on /metrics is wired in too.
+	rec = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "hybridlsh_router_requests_total") {
+		t.Fatalf("metrics: status %d, missing router families", rec.Code)
+	}
+}

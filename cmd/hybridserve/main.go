@@ -17,8 +17,29 @@
 //	POST /compact  {"shard": j} or empty body     -> drop tombstoned points from buckets
 //	POST /recalibrate                             -> force a cost-model refit from the drift windows
 //	POST /snapshot                                -> persist to the -snapshot path
-//	GET  /stats    topology, strategy mix, compactions, drift, recalibration, cache, latency
+//	GET  /snapshot        stream the index as a hybridlsh-snap/v1 snapshot (replica hydration)
+//	GET  /delta?after=N   delta frames after sequence N (replica tailing; 410 once trimmed)
+//	GET  /replica/status  replication cursor: {"format","role","epoch","seq"}
+//	GET  /stats    topology, strategy mix, compactions, drift, recalibration, cache, replication, latency
 //	GET  /metrics  Prometheus text exposition of the same telemetry
+//
+// # Replication
+//
+// Every writer doubles as a replication source: mutations are recorded
+// in an in-memory delta log (-deltalog frames of retention) as
+// hybridlsh-delta/v1 frames, GET /snapshot streams the index stamped
+// with the log's epoch and covered sequence number, and GET /delta
+// serves the frames after a replica's cursor. Starting a second server
+// with -hydrate http://writer:8080 turns it into a stateless read-only
+// replica: it hydrates from the snapshot, tails the delta log, and
+// converges to id-identical answers (see internal/replica and
+// docs/REPLICATION.md). -hydrate with a file path instead boots a
+// static read-only replica pinned to that snapshot. Replicas reject
+// the mutating endpoints with 403, never self-compact (compactions
+// replay exactly as the writer journaled them), and never refit their
+// cost model — refits are not journaled, and a refit can flip a
+// strategy choice, so replicas adopt new constants only through a new
+// snapshot epoch. cmd/hybridrouter fans queries out across replicas.
 //
 // # Closing the drift loop
 //
@@ -138,6 +159,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -150,6 +172,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -159,6 +182,7 @@ import (
 	"repro/internal/covering"
 	"repro/internal/obs"
 	"repro/internal/persist"
+	"repro/internal/replica"
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -196,6 +220,10 @@ func main() {
 		"result-cache entry capacity; repeated queries are answered from an LRU invalidated on every mutation (0 = off)")
 	flag.StringVar(&cfg.quant, "quant", cfg.quant,
 		"point-store quantization: sq8 keeps a scalar-quantized verification copy (l2 only; answers stay id-identical), off stores exact values only; snapshots restore their recorded mode")
+	flag.StringVar(&cfg.hydrate, "hydrate", cfg.hydrate,
+		"run as a read-only replica hydrated from this source: an http(s) URL of a writer (hydrates from GET /snapshot, then tails GET /delta and converges continuously) or a local snapshot file path (static replica)")
+	flag.IntVar(&cfg.logCap, "deltalog", cfg.logCap,
+		"delta-log retention in frames on a writer; a replica that falls further behind must re-hydrate from the snapshot (0 = default)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -203,7 +231,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hybridserve:", err)
 		os.Exit(1)
 	}
-	if srv.loadedFrom != "" {
+	switch {
+	case srv.readOnly && srv.loadedFrom != "":
+		log.Printf("hybridserve: read-only replica hydrated from %s (%d live points)", srv.loadedFrom, srv.be.topo().Live)
+	case srv.loadedFrom != "":
 		log.Printf("hybridserve: warm start from %s (%d live points)", srv.loadedFrom, srv.be.topo().Live)
 	}
 	mode := ""
@@ -284,6 +315,8 @@ type config struct {
 	recalibrate   string
 	cacheSize     int
 	quant         string
+	hydrate       string
+	logCap        int
 }
 
 func defaultConfig() config {
@@ -322,6 +355,8 @@ type backend interface {
 	compact(shardIdx int) (int, error) // shardIdx < 0 compacts every shard
 	autoCompact(threshold float64)
 	snapshot(path string) (int64, error)
+	writeSnapshotTo(w io.Writer) (int64, error)
+	installJournal(l *replica.Log)
 	topo() shard.Stats
 	maxWorkers() int
 	cost() core.CostModel
@@ -329,16 +364,35 @@ type backend interface {
 	enableCache(entries int) error
 }
 
+// followerAPI is the type-erased slice of replica.Follower the server
+// needs: the status endpoint and the /stats convergence counters.
+type followerAPI interface {
+	ServeStatus(w http.ResponseWriter, r *http.Request)
+	Cursor() (epoch, seq uint64)
+	Rehydrates() int64
+	Applied() int64
+}
+
 // server wires a backend to the HTTP API plus serving telemetry.
 type server struct {
 	cfg        config
 	be         backend
-	loadedFrom string          // snapshot path the index booted from, if any
-	lat        *stats.Recorder // per-query wall latency, microseconds
-	start      time.Time
-	queries    atomic.Int64 // queries answered (batch members count)
-	lshAns     atomic.Int64 // shard answers via LSH-based search
-	linAns     atomic.Int64 // shard answers via linear scan
+	loadedFrom string // snapshot path or source URL the index booted from, if any
+	// Replication wiring. Writers carry log + source (every mutation is
+	// journaled and served to replicas); -hydrate URL replicas carry
+	// follower; any -hydrate mode sets readOnly, which strips the
+	// mutating endpoints off the mux. stopFollower cancels the tail loop
+	// (tests; in production the loop dies with the process).
+	log          *replica.Log
+	source       *replica.Source
+	follower     followerAPI
+	readOnly     bool
+	stopFollower context.CancelFunc
+	lat          *stats.Recorder // per-query wall latency, microseconds
+	start        time.Time
+	queries      atomic.Int64 // queries answered (batch members count)
+	lshAns       atomic.Int64 // shard answers via LSH-based search
+	linAns       atomic.Int64 // shard answers via linear scan
 	// Multi-probe counters (zero on classic backends): queries answered
 	// via the probe path, the summed T they used, and how many carried a
 	// per-request override.
@@ -426,14 +480,62 @@ func newServer(cfg config) (*server, error) {
 	if quant != hybridlsh.QuantOff && cfg.metric != "l2" {
 		return nil, fmt.Errorf("quant = %q applies to -metric l2 only", cfg.quant)
 	}
-	loadedFrom := ""
-	be, err := loadBackend(&cfg)
-	if err != nil {
-		return nil, err
+	if cfg.logCap < 0 {
+		return nil, fmt.Errorf("deltalog = %d, want >= 0 (0 = default %d)", cfg.logCap, replica.DefaultLogCap)
 	}
-	if be != nil {
+	followURL := strings.HasPrefix(cfg.hydrate, "http://") || strings.HasPrefix(cfg.hydrate, "https://")
+	if cfg.hydrate != "" {
+		if cfg.snapshot != "" {
+			return nil, errors.New("-hydrate and -snapshot are mutually exclusive: replicas never write snapshots")
+		}
+		// Replicas must answer id-identically to their writer, and a local
+		// cost-model refit could flip an LSH/linear strategy choice (the
+		// two strategies report different id sets on the margin). Refits
+		// are not journaled, so they are simply disabled on replicas; a
+		// writer refit reaches replicas via the next snapshot epoch.
+		cfg.recalibrate = "off"
+	}
+	if followURL && cfg.cacheSize > 0 {
+		return nil, errors.New("-cache is unsupported with -hydrate URL: re-hydration swaps the store out from under the cache")
+	}
+	loadedFrom := ""
+	readOnly := false
+	var fol followerAPI
+	var stopFollower context.CancelFunc
+	var be backend
+	switch {
+	case followURL:
+		be, fol, stopFollower, err = hydrateFollower(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		readOnly = true
+		loadedFrom = cfg.hydrate
+	case cfg.hydrate != "":
+		// Static replica from a snapshot file. Unlike -snapshot, the file
+		// is the entire dataset, so a missing file is an error rather than
+		// a synthetic-build fallback.
+		cfg.snapshot = cfg.hydrate
+		be, err = loadBackend(&cfg)
+		cfg.snapshot = ""
+		if err != nil {
+			return nil, err
+		}
+		if be == nil {
+			return nil, fmt.Errorf("hydrate: snapshot %s does not exist", cfg.hydrate)
+		}
+		readOnly = true
+		loadedFrom = cfg.hydrate
+	default:
+		be, err = loadBackend(&cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !readOnly && be != nil {
 		loadedFrom = cfg.snapshot
-	} else {
+	}
+	if !readOnly && be == nil {
 		opts := []hybridlsh.Option{hybridlsh.WithSeed(cfg.seed), hybridlsh.WithShards(cfg.shards), hybridlsh.WithQuant(quant)}
 		if cfg.tables > 0 {
 			opts = append(opts, hybridlsh.WithTables(cfg.tables))
@@ -472,7 +574,12 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
 		}
 	}
-	be.autoCompact(cfg.compactThresh)
+	if !readOnly {
+		// Replicas never self-compact: compactions replay exactly as the
+		// writer journaled them (Hydrate already disabled the auto clock),
+		// and a static replica takes no mutations at all.
+		be.autoCompact(cfg.compactThresh)
+	}
 	if cfg.cacheSize > 0 {
 		// Both boot paths — synthetic build and snapshot load — pass
 		// through here, so a warm restart keeps its cache too.
@@ -480,7 +587,25 @@ func newServer(cfg config) (*server, error) {
 			return nil, err
 		}
 	}
-	srv := &server{cfg: cfg, be: be, loadedFrom: loadedFrom, lat: stats.NewRecorder(cfg.window), start: time.Now()}
+	var dlog *replica.Log
+	var source *replica.Source
+	if !readOnly {
+		// Every writer is a replication source: mutations are journaled as
+		// delta frames, and GET /snapshot + GET /delta serve hydration and
+		// tailing. The epoch is this process incarnation — a restart gets
+		// a fresh epoch, forcing replicas back through the snapshot (the
+		// in-memory log died with the old process).
+		dlog = replica.NewLog(persist.DeltaHeader{
+			Epoch:  uint64(time.Now().UnixNano()),
+			Metric: cfg.metric,
+			Dim:    cfg.dim,
+		}, cfg.logCap)
+		be.installJournal(dlog)
+		source = &replica.Source{Log: dlog, WriteSnapshot: be.writeSnapshotTo}
+	}
+	srv := &server{cfg: cfg, be: be, loadedFrom: loadedFrom,
+		log: dlog, source: source, follower: fol, readOnly: readOnly, stopFollower: stopFollower,
+		lat: stats.NewRecorder(cfg.window), start: time.Now()}
 	srv.reg = obs.NewRegistry()
 	srv.metrics = obs.NewServerMetrics(srv.reg, cfg.window)
 	obs.RegisterTopology(srv.reg, be.topo)
@@ -578,6 +703,73 @@ func loadBackend(cfg *config) (backend, error) {
 	cfg.probes = meta.Probes           // the snapshot decides the serving mode
 	cfg.coverRadius = meta.CoverRadius // ditto for covering
 	return be, nil
+}
+
+// followerPollEvery is the delta-tail poll interval on -hydrate URL
+// replicas; steady-state convergence lag is bounded by roughly one poll
+// plus the frames' apply time.
+const followerPollEvery = 100 * time.Millisecond
+
+// hydrateFollower boots a -hydrate URL replica: hydrate synchronously
+// (fail fast — a replica that cannot reach its source should not take
+// traffic), adopt the snapshot's geometry, then tail the delta log in
+// the background for as long as the process lives. The returned cancel
+// stops the tail loop (tests need that; production lets it die with the
+// process).
+func hydrateFollower(cfg *config) (backend, followerAPI, context.CancelFunc, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	hctx, hcancel := context.WithTimeout(ctx, time.Minute)
+	defer hcancel()
+	switch cfg.metric {
+	case "l2":
+		f := replica.NewFollower[hybridlsh.Dense](cfg.hydrate, nil,
+			func(r io.Reader) (*shard.Sharded[hybridlsh.Dense], persist.Meta, error) {
+				return persist.ReadSharded[hybridlsh.Dense](r, persist.MetricL2)
+			})
+		if err := f.Hydrate(hctx); err != nil {
+			cancel()
+			return nil, nil, nil, fmt.Errorf("hydrate %s: %w", cfg.hydrate, err)
+		}
+		m := f.Meta()
+		cfg.dim, cfg.radius, cfg.shards, cfg.probes, cfg.coverRadius = m.Dim, m.Radius, m.Shards, m.Probes, m.CoverRadius
+		be := &engine[hybridlsh.Dense]{cacheKey: hybridlsh.Dense.CacheKey, follower: f,
+			metric: persist.MetricL2, parse: parseDense(m.Dim), probes: m.Probes}
+		go f.Run(ctx, followerPollEvery)
+		return be, f, cancel, nil
+	case "hamming":
+		f := replica.NewFollower[hybridlsh.Binary](cfg.hydrate, nil, readBinarySnapshot)
+		if err := f.Hydrate(hctx); err != nil {
+			cancel()
+			return nil, nil, nil, fmt.Errorf("hydrate %s: %w", cfg.hydrate, err)
+		}
+		m := f.Meta()
+		cfg.dim, cfg.radius, cfg.shards, cfg.probes, cfg.coverRadius = m.Dim, m.Radius, m.Shards, m.Probes, m.CoverRadius
+		be := &engine[hybridlsh.Binary]{cacheKey: hybridlsh.Binary.CacheKey, follower: f,
+			metric: persist.MetricHamming, parse: parseBinary(m.Dim), radius: m.CoverRadius}
+		if m.CoverRadius > 0 {
+			be.writeSnap = persist.WriteShardedCovering
+		}
+		go f.Run(ctx, followerPollEvery)
+		return be, f, cancel, nil
+	}
+	cancel()
+	return nil, nil, nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
+}
+
+// readBinarySnapshot decodes a hamming snapshot from a non-seekable
+// stream: buffer it, try the classic reader, and re-read the buffer
+// with the covering reader if the snapshot turns out to be one (the
+// file path in loadBackend can Seek back; an HTTP body cannot).
+func readBinarySnapshot(r io.Reader) (*shard.Sharded[hybridlsh.Binary], persist.Meta, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, persist.Meta{}, err
+	}
+	sh, m, err := persist.ReadSharded[hybridlsh.Binary](bytes.NewReader(buf), persist.MetricHamming)
+	if errors.Is(err, persist.ErrCoverMode) {
+		return persist.ReadShardedCovering(bytes.NewReader(buf))
+	}
+	return sh, m, err
 }
 
 // seedDense generates n clustered points in [0,1)^dim (64 Gaussian
@@ -723,14 +915,27 @@ func toResult(ids []int32, st shard.QueryStats) *queryResult {
 // radius > 0 marks a covering backend and carries its built radius.
 // writeSnap overrides the snapshot writer for index kinds with their own
 // wire layout (covering); nil means the classic persist.WriteSharded.
+// follower is set on -hydrate URL replicas: the store then lives inside
+// the follower (re-hydration swaps it atomically), so every access goes
+// through store() rather than the fixed sh field.
 type engine[P any] struct {
 	sh        *shard.Sharded[P]
+	follower  *replica.Follower[P]
 	metric    string // persist metric identifier for snapshots
 	parse     func(json.RawMessage) (P, error)
 	probes    int
 	radius    int
 	writeSnap func(w io.Writer, sh *shard.Sharded[P]) (int64, error)
 	cacheKey  func(P) string // exact query encoding for -cache (see shard.EnableCache)
+}
+
+// store returns the serving index: the fixed one for writers and
+// path-hydrated replicas, the follower's current hydration otherwise.
+func (e *engine[P]) store() *shard.Sharded[P] {
+	if e.follower != nil {
+		return e.follower.Store()
+	}
+	return e.sh
 }
 
 // resolveProbes maps a request's optional probe override to the
@@ -799,7 +1004,7 @@ func (e *engine[P]) query(raw json.RawMessage, probes, radius *int) (*queryResul
 	var res *queryResult
 	switch {
 	case e.radius > 0:
-		ids, st, err := e.sh.QueryRadius(p, rr)
+		ids, st, err := e.store().QueryRadius(p, rr)
 		if err != nil {
 			return nil, err
 		}
@@ -807,7 +1012,7 @@ func (e *engine[P]) query(raw json.RawMessage, probes, radius *int) (*queryResul
 		res.Radius = &rr
 		res.override = radiusOverride
 	case e.probes > 0:
-		ids, st, err := e.sh.QueryProbes(p, t)
+		ids, st, err := e.store().QueryProbes(p, t)
 		if err != nil {
 			return nil, err
 		}
@@ -815,7 +1020,7 @@ func (e *engine[P]) query(raw json.RawMessage, probes, radius *int) (*queryResul
 		res.Probes = &t
 		res.override = probeOverride
 	default:
-		ids, st := e.sh.Query(p)
+		ids, st := e.store().Query(p)
 		res = toResult(ids, st)
 	}
 	return res, nil
@@ -841,15 +1046,15 @@ func (e *engine[P]) batch(raw []json.RawMessage, workers int, probes, radius *in
 	var results []shard.BatchResult
 	switch {
 	case e.radius > 0:
-		if results, err = e.sh.QueryBatchRadius(pts, workers, rr); err != nil {
+		if results, err = e.store().QueryBatchRadius(pts, workers, rr); err != nil {
 			return nil, err
 		}
 	case e.probes > 0:
-		if results, err = e.sh.QueryBatchProbes(pts, workers, t); err != nil {
+		if results, err = e.store().QueryBatchProbes(pts, workers, t); err != nil {
 			return nil, err
 		}
 	default:
-		results = e.sh.QueryBatch(pts, workers)
+		results = e.store().QueryBatch(pts, workers)
 	}
 	out := make([]*queryResult, len(results))
 	for i, r := range results {
@@ -875,56 +1080,69 @@ func (e *engine[P]) appendPoints(raw []json.RawMessage) ([]int32, error) {
 		}
 		pts[i] = p
 	}
-	return e.sh.Append(pts)
+	return e.store().Append(pts)
 }
 
-func (e *engine[P]) remove(ids []int32) int { return e.sh.Delete(ids) }
+func (e *engine[P]) remove(ids []int32) int { return e.store().Delete(ids) }
 
 // compact drops tombstoned points from one shard's buckets (every
 // shard's for shardIdx < 0); queries keep flowing during the rewrite.
 func (e *engine[P]) compact(shardIdx int) (int, error) {
 	if shardIdx < 0 {
-		return e.sh.CompactAll()
+		return e.store().CompactAll()
 	}
-	return e.sh.Compact(shardIdx)
+	return e.store().Compact(shardIdx)
 }
 
-func (e *engine[P]) autoCompact(threshold float64) { e.sh.SetAutoCompact(threshold) }
+func (e *engine[P]) autoCompact(threshold float64) { e.store().SetAutoCompact(threshold) }
 
 // snapshot persists the index to path atomically (temp file + rename).
 // Appends are blocked while the consistent view is serialized; queries
 // keep flowing.
 func (e *engine[P]) snapshot(path string) (int64, error) {
-	return persist.WriteFileAtomic(path, func(w io.Writer) (int64, error) {
-		bw := bufio.NewWriterSize(w, 1<<20)
-		var n int64
-		var err error
-		if e.writeSnap != nil {
-			n, err = e.writeSnap(bw, e.sh)
-		} else {
-			n, err = persist.WriteSharded(bw, e.metric, e.sh)
-		}
-		if err == nil {
-			err = bw.Flush()
-		}
-		return n, err
-	})
+	return persist.WriteFileAtomic(path, e.writeSnapshotTo)
 }
 
-func (e *engine[P]) maxWorkers() int { return e.sh.DefaultBatchWorkers() }
+// writeSnapshotTo streams the index snapshot to w. The file snapshot
+// and the replication source's GET /snapshot body share this path, so a
+// replica hydrated over HTTP decodes exactly what a warm restart would
+// read from disk.
+func (e *engine[P]) writeSnapshotTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	var err error
+	if e.writeSnap != nil {
+		n, err = e.writeSnap(bw, e.store())
+	} else {
+		n, err = persist.WriteSharded(bw, e.metric, e.store())
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	return n, err
+}
 
-func (e *engine[P]) topo() shard.Stats { return e.sh.Stats() }
+// installJournal wires the writer's delta log into the store: every
+// Append/Delete/Compact is recorded as one hybridlsh-delta/v1 frame in
+// commit order. Called once at boot, before the listener takes traffic.
+func (e *engine[P]) installJournal(l *replica.Log) {
+	e.store().SetJournal(replica.NewRecorder[P](l))
+}
 
-func (e *engine[P]) cost() core.CostModel { return e.sh.Cost() }
+func (e *engine[P]) maxWorkers() int { return e.store().DefaultBatchWorkers() }
+
+func (e *engine[P]) topo() shard.Stats { return e.store().Stats() }
+
+func (e *engine[P]) cost() core.CostModel { return e.store().Cost() }
 
 // setCost swaps the cost model on every shard atomically; queries keep
 // flowing through the swap (see shard.Sharded.SetCost).
-func (e *engine[P]) setCost(c core.CostModel) error { return e.sh.SetCost(c) }
+func (e *engine[P]) setCost(c core.CostModel) error { return e.store().SetCost(c) }
 
 // enableCache installs the result cache; called during boot, before the
 // listener starts taking traffic.
 func (e *engine[P]) enableCache(entries int) error {
-	return e.sh.EnableCache(entries, e.cacheKey)
+	return e.store().EnableCache(entries, e.cacheKey)
 }
 
 // record folds one answered query into the serving telemetry.
@@ -975,11 +1193,29 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("POST /append", s.handleAppend)
-	mux.HandleFunc("POST /delete", s.handleDelete)
-	mux.HandleFunc("POST /compact", s.handleCompact)
-	mux.HandleFunc("POST /recalibrate", s.handleRecalibrate)
-	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	if s.readOnly {
+		// Replicas take no direct writes: mutations flow through the
+		// writer and reach replicas via the delta log. Mounting explicit
+		// rejections (rather than leaving the routes unmounted) turns a
+		// misdirected write into a clear 403 instead of a generic 404.
+		for _, ep := range []string{"POST /append", "POST /delete", "POST /compact", "POST /recalibrate", "POST /snapshot"} {
+			mux.HandleFunc(ep, s.handleReadOnly)
+		}
+	} else {
+		mux.HandleFunc("POST /append", s.handleAppend)
+		mux.HandleFunc("POST /delete", s.handleDelete)
+		mux.HandleFunc("POST /compact", s.handleCompact)
+		mux.HandleFunc("POST /recalibrate", s.handleRecalibrate)
+		mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	}
+	switch {
+	case s.source != nil: // writer: snapshot + delta + status feed
+		s.source.Register(mux)
+	case s.follower != nil: // tailing replica: cursor for router lag checks
+		mux.HandleFunc("GET /replica/status", s.follower.ServeStatus)
+	default: // static -hydrate path replica: pinned, no epoch, no tail
+		mux.HandleFunc("GET /replica/status", s.handleStaticStatus)
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg)
 	// MaxBytesHandler wraps every request body in http.MaxBytesReader, so
@@ -1017,6 +1253,17 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
+}
+
+// handleReadOnly rejects mutations on a replica.
+func (s *server) handleReadOnly(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusForbidden,
+		fmt.Errorf("read-only replica: %s is only served by the writer (this server was started with -hydrate)", r.URL.Path))
+}
+
+// handleStaticStatus is GET /replica/status on -hydrate path replicas.
+func (s *server) handleStaticStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, replica.StatusResponse{Format: persist.DeltaFormatName, Role: "static"})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1251,6 +1498,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cache["misses"] = topo.CacheMisses
 		cache["invalidations"] = topo.CacheInvalidations
 	}
+	repl := map[string]any{"read_only": s.readOnly}
+	switch {
+	case s.follower != nil:
+		epoch, seq := s.follower.Cursor()
+		repl["role"] = "follower"
+		repl["source"] = s.cfg.hydrate
+		repl["epoch"] = epoch
+		repl["seq"] = seq
+		repl["rehydrates"] = s.follower.Rehydrates()
+		repl["frames_applied"] = s.follower.Applied()
+	case s.source != nil:
+		repl["role"] = "source"
+		repl["epoch"] = s.log.Epoch()
+		repl["seq"] = s.log.Seq()
+	default:
+		repl["role"] = "static"
+		repl["source"] = s.cfg.hydrate
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"metric":       s.cfg.metric,
 		"dim":          s.cfg.dim,
@@ -1279,6 +1544,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"covering":      cover,
 		"recalibration": recal,
 		"cache":         cache,
+		"replication":   repl,
 		"store":         topo.Store,
 		"drift":         s.metrics.Drift.Snapshot(),
 		"latency_us": map[string]any{

@@ -53,20 +53,30 @@ type JSONReport struct {
 	Recal      *RecalResult      `json:"recal,omitempty"`
 	Cache      *CacheResult      `json:"cache,omitempty"`
 	Quant      *QuantResult      `json:"quant,omitempty"`
+	Replica    *ReplicaResult    `json:"replica,omitempty"`
 }
 
-// NewJSONReport starts an empty report for the given configuration,
-// stamped with the producing environment.
-func NewJSONReport(cfg Config) *JSONReport {
+// NewJSONReport starts an empty report for the given configuration and
+// quantization mode, stamped with the producing environment. The meta
+// is collected exactly once, here: every report one invocation writes
+// carries an identical RunMeta no matter which experiments ran, so
+// BENCH_*.json files from the same run can be compared meta-for-meta.
+func NewJSONReport(cfg Config, quant string) *JSONReport {
 	return &JSONReport{
 		Schema: JSONSchema,
-		Meta: RunMeta{
-			GoVersion: runtime.Version(),
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
-			NumCPU:    runtime.NumCPU(),
-		},
+		Meta:   CollectRunMeta(quant),
 		Config: cfg,
+	}
+}
+
+// CollectRunMeta gathers the environment stamp for one invocation.
+func CollectRunMeta(quant string) RunMeta {
+	return RunMeta{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quant:     quant,
 	}
 }
 
@@ -103,12 +113,16 @@ func (r *JSONReport) AddRecal(res *RecalResult) { r.Recal = res }
 // AddCache records the result-cache experiment of the run.
 func (r *JSONReport) AddCache(res *CacheResult) { r.Cache = res }
 
-// AddQuant records the candidate-verification experiment of the run and
-// stamps the benchmarked quantization mode into the run meta.
-func (r *JSONReport) AddQuant(res *QuantResult) {
-	r.Quant = res
-	r.Meta.Quant = res.Mode
-}
+// AddQuant records the candidate-verification experiment of the run.
+// It deliberately leaves r.Meta alone: the run meta is collected once
+// in NewJSONReport, so every report of one invocation carries the same
+// meta block whether or not this experiment ran. (Stamping Meta.Quant
+// here instead made -exp quant reports disagree with every other
+// BENCH_*.json of the same invocation.)
+func (r *JSONReport) AddQuant(res *QuantResult) { r.Quant = res }
+
+// AddReplica records the replicated-serving experiment of the run.
+func (r *JSONReport) AddReplica(res *ReplicaResult) { r.Replica = res }
 
 // WriteJSON writes the report as indented JSON.
 func WriteJSON(w io.Writer, r *JSONReport) error {

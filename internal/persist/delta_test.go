@@ -1,0 +1,205 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// writeDeltaStream encodes a header plus frames into one byte stream.
+func writeDeltaStream[P any](t *testing.T, h DeltaHeader, frames []DeltaFrame[P]) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteDeltaHeader(&buf, h); err != nil {
+		t.Fatalf("WriteDeltaHeader: %v", err)
+	}
+	for _, f := range frames {
+		b, err := EncodeDeltaFrame(h, f)
+		if err != nil {
+			t.Fatalf("EncodeDeltaFrame(seq %d): %v", f.Seq, err)
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// readAll decodes every frame of a stream, failing the test on any
+// error other than the terminating io.EOF.
+func readAll[P any](t *testing.T, data []byte, metric string) (DeltaHeader, []DeltaFrame[P]) {
+	t.Helper()
+	dr, err := NewDeltaReader[P](bytes.NewReader(data), metric)
+	if err != nil {
+		t.Fatalf("NewDeltaReader: %v", err)
+	}
+	var out []DeltaFrame[P]
+	for {
+		f, err := dr.Next()
+		if err == io.EOF {
+			return dr.Header(), out
+		}
+		if err != nil {
+			t.Fatalf("Next (after %d frames): %v", len(out), err)
+		}
+		out = append(out, f)
+	}
+}
+
+func TestDeltaRoundTripDense(t *testing.T) {
+	h := DeltaHeader{Epoch: 42, Metric: MetricL2, Dim: 4}
+	frames := []DeltaFrame[vector.Dense]{
+		{Seq: 1, Kind: DeltaAppend, Shard: 2, Base: 100, Points: denseData(5, 4, 7)},
+		{Seq: 2, Kind: DeltaDelete, IDs: []int32{3, 17, 101}},
+		{Seq: 3, Kind: DeltaCompact, Shard: 2, IDs: []int32{3, 101}},
+		{Seq: 4, Kind: DeltaAppend, Shard: 0, Base: 105, Points: denseData(1, 4, 9)},
+	}
+	data := writeDeltaStream(t, h, frames)
+	gotH, got := readAll[vector.Dense](t, data, MetricL2)
+	if gotH != h {
+		t.Fatalf("header round-trip: got %+v, want %+v", gotH, h)
+	}
+	if !reflect.DeepEqual(got, frames) {
+		t.Fatalf("frames round-trip:\n got %+v\nwant %+v", got, frames)
+	}
+}
+
+func TestDeltaRoundTripBinary(t *testing.T) {
+	h := DeltaHeader{Epoch: 7, Metric: MetricHamming, Dim: 96}
+	frames := []DeltaFrame[vector.Binary]{
+		{Seq: 1, Kind: DeltaAppend, Shard: 0, Base: 0, Points: binaryData(3, 96, 5)},
+		{Seq: 2, Kind: DeltaDelete, IDs: []int32{1}},
+	}
+	data := writeDeltaStream(t, h, frames)
+	_, got := readAll[vector.Binary](t, data, MetricHamming)
+	if !reflect.DeepEqual(got, frames) {
+		t.Fatalf("frames round-trip:\n got %+v\nwant %+v", got, frames)
+	}
+}
+
+func TestDeltaRoundTripSparse(t *testing.T) {
+	h := DeltaHeader{Epoch: 1, Metric: MetricCosine, Dim: 24}
+	frames := []DeltaFrame[vector.Sparse]{
+		{Seq: 1, Kind: DeltaAppend, Shard: 1, Base: 9, Points: sparseData(4, 24, 5, 3)},
+	}
+	data := writeDeltaStream(t, h, frames)
+	_, got := readAll[vector.Sparse](t, data, MetricCosine)
+	if !reflect.DeepEqual(got, frames) {
+		t.Fatalf("frames round-trip:\n got %+v\nwant %+v", got, frames)
+	}
+}
+
+// TestDeltaBitFlips flips every byte of a valid stream in turn; the
+// reader must reject the damage (or, for a handful of don't-care bits
+// like an epoch flip, still decode cleanly) — and must never panic.
+func TestDeltaBitFlips(t *testing.T) {
+	h := DeltaHeader{Epoch: 3, Metric: MetricL2, Dim: 3}
+	frames := []DeltaFrame[vector.Dense]{
+		{Seq: 1, Kind: DeltaAppend, Shard: 0, Base: 0, Points: denseData(2, 3, 1)},
+		{Seq: 2, Kind: DeltaDelete, IDs: []int32{0}},
+	}
+	data := writeDeltaStream(t, h, frames)
+	for off := range data {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x80
+		dr, err := NewDeltaReader[vector.Dense](bytes.NewReader(mut), "")
+		if err != nil {
+			continue // header damage rejected — fine
+		}
+		for {
+			if _, err := dr.Next(); err != nil {
+				break // io.EOF or a detected corruption — fine
+			}
+		}
+	}
+}
+
+// TestDeltaFrameCRCCoversSeq proves the deliberate deviation from the
+// snapshot section discipline: flipping a bit in the seq field — not
+// the payload — must fail the checksum.
+func TestDeltaFrameCRCCoversSeq(t *testing.T) {
+	h := DeltaHeader{Epoch: 1, Metric: MetricL2, Dim: 2}
+	frame, err := EncodeDeltaFrame(h, DeltaFrame[vector.Dense]{Seq: 1, Kind: DeltaDelete, IDs: []int32{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr bytes.Buffer
+	if err := WriteDeltaHeader(&hdr, h); err != nil {
+		t.Fatal(err)
+	}
+	frame[4] ^= 0x01 // low byte of seq
+	dr, err := NewDeltaReader[vector.Dense](io.MultiReader(bytes.NewReader(hdr.Bytes()), bytes.NewReader(frame)), MetricL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("seq bit flip: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDeltaSequenceGap(t *testing.T) {
+	h := DeltaHeader{Epoch: 1, Metric: MetricL2, Dim: 2}
+	frames := []DeltaFrame[vector.Dense]{
+		{Seq: 1, Kind: DeltaDelete, IDs: []int32{1}},
+		{Seq: 3, Kind: DeltaDelete, IDs: []int32{2}}, // gap: 2 missing
+	}
+	data := writeDeltaStream(t, h, frames)
+	dr, err := NewDeltaReader[vector.Dense](bytes.NewReader(data), MetricL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sequence gap: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDeltaTruncation(t *testing.T) {
+	h := DeltaHeader{Epoch: 1, Metric: MetricL2, Dim: 4}
+	frames := []DeltaFrame[vector.Dense]{
+		{Seq: 1, Kind: DeltaAppend, Shard: 0, Base: 0, Points: denseData(4, 4, 2)},
+	}
+	data := writeDeltaStream(t, h, frames)
+	for cut := 1; cut < len(data); cut++ {
+		dr, err := NewDeltaReader[vector.Dense](bytes.NewReader(data[:cut]), MetricL2)
+		if err != nil {
+			continue // truncated inside the header
+		}
+		if _, err := dr.Next(); err == nil {
+			t.Fatalf("truncation at %d/%d decoded a frame", cut, len(data))
+		}
+	}
+}
+
+func TestDeltaMetricMismatch(t *testing.T) {
+	h := DeltaHeader{Epoch: 1, Metric: MetricL2, Dim: 2}
+	data := writeDeltaStream(t, h, []DeltaFrame[vector.Dense]{{Seq: 1, Kind: DeltaDelete, IDs: []int32{0}}})
+	if _, err := NewDeltaReader[vector.Dense](bytes.NewReader(data), MetricAngular); !errors.Is(err, ErrMetric) {
+		t.Fatalf("metric mismatch: got %v, want ErrMetric", err)
+	}
+	if _, err := NewDeltaReader[vector.Binary](bytes.NewReader(data), ""); err == nil {
+		t.Fatal("point-type mismatch decoded")
+	}
+}
+
+func TestDeltaEncodeRejectsBadFrames(t *testing.T) {
+	h := DeltaHeader{Epoch: 1, Metric: MetricL2, Dim: 2}
+	bad := []DeltaFrame[vector.Dense]{
+		{Seq: 0, Kind: DeltaDelete, IDs: []int32{1}},                      // seq 0
+		{Seq: 1, Kind: DeltaDelete, IDs: nil},                             // empty ids
+		{Seq: 1, Kind: DeltaDelete, IDs: []int32{5, 3}},                   // unsorted
+		{Seq: 1, Kind: DeltaDelete, IDs: []int32{3, 3}},                   // duplicate
+		{Seq: 1, Kind: DeltaAppend, Points: nil},                          // empty append
+		{Seq: 1, Kind: DeltaAppend, Base: -1, Points: denseData(1, 2, 1)}, // negative base
+		{Seq: 1, Kind: 99, IDs: []int32{1}},                               // unknown kind
+	}
+	for i, f := range bad {
+		if _, err := EncodeDeltaFrame(h, f); err == nil {
+			t.Errorf("bad frame %d encoded", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package replica_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/replica"
+	"repro/internal/vector"
+)
+
+func testHeader() persist.DeltaHeader {
+	return persist.DeltaHeader{Epoch: 7, Metric: persist.MetricL2, Dim: 4}
+}
+
+func pts(n int, base float32) []vector.Dense {
+	out := make([]vector.Dense, n)
+	for i := range out {
+		out[i] = vector.Dense{base + float32(i), 0, 0, 0}
+	}
+	return out
+}
+
+// decodeFrames runs encoded frames back through the delta reader,
+// prefixed with the log's header, and returns the decoded frames.
+func decodeFrames(t *testing.T, log *replica.Log, frames [][]byte) []persist.DeltaFrame[vector.Dense] {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := persist.WriteDeltaHeader(&buf, log.Header()); err != nil {
+		t.Fatalf("WriteDeltaHeader: %v", err)
+	}
+	for _, f := range frames {
+		buf.Write(f)
+	}
+	dr, err := persist.NewDeltaReader[vector.Dense](&buf, persist.MetricL2)
+	if err != nil {
+		t.Fatalf("NewDeltaReader: %v", err)
+	}
+	var out []persist.DeltaFrame[vector.Dense]
+	for {
+		f, err := dr.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, f)
+	}
+}
+
+func TestLogRecordAndSince(t *testing.T) {
+	log := replica.NewLog(testHeader(), 0)
+	rec := replica.NewRecorder[vector.Dense](log)
+
+	if got := log.Seq(); got != 0 {
+		t.Fatalf("empty log Seq = %d, want 0", got)
+	}
+	rec.JournalAppend(0, 0, pts(3, 0))
+	rec.JournalDelete([]int32{1})
+	rec.JournalCompact(0, []int32{1})
+	if got := log.Seq(); got != 3 {
+		t.Fatalf("Seq = %d, want 3", got)
+	}
+
+	frames, last, err := log.Since(0, 0)
+	if err != nil || len(frames) != 3 || last != 3 {
+		t.Fatalf("Since(0) = %d frames, last %d, err %v; want 3, 3, nil", len(frames), last, err)
+	}
+	decoded := decodeFrames(t, log, frames)
+	if decoded[0].Kind != persist.DeltaAppend || decoded[0].Seq != 1 ||
+		decoded[0].Shard != 0 || decoded[0].Base != 0 || len(decoded[0].Points) != 3 {
+		t.Fatalf("frame 1 = %+v, want append of 3 points at base 0", decoded[0])
+	}
+	if decoded[1].Kind != persist.DeltaDelete || len(decoded[1].IDs) != 1 || decoded[1].IDs[0] != 1 {
+		t.Fatalf("frame 2 = %+v, want delete of id 1", decoded[1])
+	}
+	if decoded[2].Kind != persist.DeltaCompact || decoded[2].Shard != 0 || decoded[2].IDs[0] != 1 {
+		t.Fatalf("frame 3 = %+v, want compact of id 1 on shard 0", decoded[2])
+	}
+
+	// Tail reads and batching.
+	frames, last, err = log.Since(2, 0)
+	if err != nil || len(frames) != 1 || last != 3 {
+		t.Fatalf("Since(2) = %d frames, last %d, err %v; want 1, 3, nil", len(frames), last, err)
+	}
+	frames, last, err = log.Since(3, 0)
+	if err != nil || len(frames) != 0 || last != 3 {
+		t.Fatalf("Since(3) = %d frames, last %d, err %v; want 0, 3, nil", len(frames), last, err)
+	}
+	frames, last, err = log.Since(0, 2)
+	if err != nil || len(frames) != 2 || last != 2 {
+		t.Fatalf("Since(0, max 2) = %d frames, last %d, err %v; want 2, 2, nil", len(frames), last, err)
+	}
+}
+
+func TestLogTrimsToCap(t *testing.T) {
+	log := replica.NewLog(testHeader(), 4)
+	rec := replica.NewRecorder[vector.Dense](log)
+	for i := 0; i < 10; i++ {
+		rec.JournalAppend(0, int32(i), pts(1, float32(i)))
+	}
+	if got := log.Seq(); got != 10 {
+		t.Fatalf("Seq = %d, want 10", got)
+	}
+	if _, _, err := log.Since(0, 0); !errors.Is(err, replica.ErrTrimmed) {
+		t.Fatalf("Since(0) after trim: err = %v, want ErrTrimmed", err)
+	}
+	// Cursor 5 was trimmed too (frames 6..10 retained); cursor 6 is fine.
+	if _, _, err := log.Since(5, 0); !errors.Is(err, replica.ErrTrimmed) {
+		t.Fatalf("Since(5) after trim: err = %v, want ErrTrimmed", err)
+	}
+	frames, last, err := log.Since(6, 0)
+	if err != nil || len(frames) != 4 || last != 10 {
+		t.Fatalf("Since(6) = %d frames, last %d, err %v; want 4, 10, nil", len(frames), last, err)
+	}
+	if got := decodeFrames(t, log, frames); got[0].Seq != 7 {
+		t.Fatalf("first retained frame seq = %d, want 7", got[0].Seq)
+	}
+}
+
+func TestLogStickyEncodeError(t *testing.T) {
+	log := replica.NewLog(testHeader(), 0)
+	rec := replica.NewRecorder[vector.Dense](log)
+	rec.JournalAppend(0, 0, pts(1, 0))
+
+	rec.JournalDelete(nil) // unencodable: a delete frame must carry ids
+	if log.Err() == nil {
+		t.Fatal("Err = nil after unencodable frame, want sticky error")
+	}
+	if got := log.Seq(); got != 1 {
+		t.Fatalf("Seq = %d after failed encode, want 1 (no hole)", got)
+	}
+	// Latched: later valid records are refused, Since reports the error.
+	rec.JournalAppend(0, 1, pts(1, 1))
+	if got := log.Seq(); got != 1 {
+		t.Fatalf("Seq = %d after latched record, want 1", got)
+	}
+	if _, _, err := log.Since(0, 0); err == nil {
+		t.Fatal("Since on a latched log: err = nil, want the sticky error")
+	}
+}

@@ -1,0 +1,193 @@
+// Package replicatest is the chaos harness for the replication tier:
+// an in-process multi-replica cluster fixture plus fault injectors at
+// both ends of every connection — a net.Listener wrapper that resets
+// accepted connections mid-stream, and an http.RoundTripper wrapper
+// that drops, delays, truncates and resets client requests — so tests
+// can prove convergence and id-identical answers under partitions,
+// replica crash/rejoin and snapshot/delta races without a real network.
+package replicatest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks every failure this package injects, so tests can
+// tell deliberate chaos from real bugs.
+var ErrInjected = errors.New("replicatest: injected fault")
+
+// Faults is a shared fault-injection control block. Each knob arms a
+// count of upcoming operations to sabotage; injectors decrement and
+// act. All knobs are safe for concurrent use.
+type Faults struct {
+	dropNext     atomic.Int64 // RoundTrip: fail before sending
+	delayNext    atomic.Int64 // RoundTrip: sleep first
+	delayBy      atomic.Int64 // nanoseconds for delayNext
+	truncateNext atomic.Int64 // RoundTrip: cut the response body short
+	resetNext    atomic.Int64 // RoundTrip: error mid-body
+	acceptKill   atomic.Int64 // Listener: close accepted conns after a few bytes
+	killAfter    atomic.Int64 // response bytes to let through before the kill
+}
+
+// DropNext makes the next n client requests fail before reaching the
+// wire (a black-holed network: connection refused / no route).
+func (f *Faults) DropNext(n int) { f.dropNext.Store(int64(n)) }
+
+// DelayNext makes the next n client requests stall for d before being
+// sent (congestion; trips hedging and timeouts).
+func (f *Faults) DelayNext(n int, d time.Duration) {
+	f.delayBy.Store(int64(d))
+	f.delayNext.Store(int64(n))
+}
+
+// TruncateNext makes the next n responses lose the second half of their
+// body (a connection cut mid-transfer, observed as unexpected EOF).
+func (f *Faults) TruncateNext(n int) { f.truncateNext.Store(int64(n)) }
+
+// ResetNext makes the next n responses fail mid-body with a reset
+// error after delivering half the bytes.
+func (f *Faults) ResetNext(n int) { f.resetNext.Store(int64(n)) }
+
+// KillAcceptedAfter makes the next n server-side accepted connections
+// die abruptly after writing at most bytes response bytes (a server
+// crash mid-response).
+func (f *Faults) KillAcceptedAfter(n, bytes int) {
+	f.killAfter.Store(int64(bytes))
+	f.acceptKill.Store(int64(n))
+}
+
+// take decrements an armed counter, reporting whether the fault fires.
+func take(c *atomic.Int64) bool {
+	for {
+		v := c.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// ---- client-side injection ----
+
+// Transport wraps an http.RoundTripper with fault injection driven by
+// a Faults block. A nil Base means http.DefaultTransport.
+type Transport struct {
+	Base   http.RoundTripper
+	Faults *Faults
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if take(&t.Faults.dropNext) {
+		return nil, fmt.Errorf("%w: dropped request to %s", ErrInjected, req.URL)
+	}
+	if take(&t.Faults.delayNext) {
+		select {
+		case <-time.After(time.Duration(t.Faults.delayBy.Load())):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if take(&t.Faults.truncateNext) {
+		resp.Body = mangleBody(resp.Body, false)
+		resp.ContentLength = -1
+	} else if take(&t.Faults.resetNext) {
+		resp.Body = mangleBody(resp.Body, true)
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// mangleBody reads the whole upstream body and returns a replacement
+// that delivers only the first half, then either a clean-looking EOF
+// (truncation) or a reset error.
+func mangleBody(rc io.ReadCloser, reset bool) io.ReadCloser {
+	all, _ := io.ReadAll(rc)
+	rc.Close()
+	half := all[:len(all)/2]
+	var tail error = io.EOF
+	if reset {
+		tail = fmt.Errorf("%w: connection reset mid-body", ErrInjected)
+	}
+	return &mangledBody{b: half, tail: tail}
+}
+
+type mangledBody struct {
+	b    []byte
+	off  int
+	tail error
+}
+
+func (m *mangledBody) Read(p []byte) (int, error) {
+	if m.off >= len(m.b) {
+		return 0, m.tail
+	}
+	n := copy(p, m.b[m.off:])
+	m.off += n
+	return n, nil
+}
+
+func (m *mangledBody) Close() error { return nil }
+
+// ---- server-side injection ----
+
+// Listener wraps a net.Listener so armed accepted connections die
+// abruptly after a byte budget — the server-crash-mid-response case a
+// client cannot distinguish from a network partition.
+type Listener struct {
+	net.Listener
+	Faults *Faults
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if take(&l.Faults.acceptKill) {
+		return &dyingConn{Conn: c, budget: l.Faults.killAfter.Load()}, nil
+	}
+	return c, nil
+}
+
+// dyingConn writes until its byte budget runs out, then slams the
+// connection shut.
+type dyingConn struct {
+	net.Conn
+	budget int64
+	dead   atomic.Bool
+}
+
+func (c *dyingConn) Write(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, fmt.Errorf("%w: connection killed", ErrInjected)
+	}
+	if int64(len(p)) > c.budget {
+		p = p[:c.budget]
+	}
+	n, err := c.Conn.Write(p)
+	c.budget -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	if c.budget <= 0 {
+		c.dead.Store(true)
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: connection killed after budget", ErrInjected)
+	}
+	return n, nil
+}

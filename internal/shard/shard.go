@@ -137,6 +137,59 @@ type Sharded[P any] struct {
 	// the epoch-stamped coherence protocol).
 	cache    *resultCache
 	cacheKey func(P) string
+
+	// journal, when non-nil, receives every mutation as it commits (see
+	// Journal and SetJournal). Set once before traffic, read-only after.
+	journal Journal[P]
+}
+
+// Journal receives every mutation of a Sharded in commit order, so a
+// replica replaying the stream on top of a snapshot converges to a
+// state that answers id-for-id identically (internal/replica encodes
+// these calls as hybridlsh-delta/v1 frames).
+//
+// The calls carry exactly the information whose derivation is
+// timing-dependent on the writer and must therefore not be re-derived
+// on a replica:
+//
+//   - JournalAppend names the target shard explicitly, because
+//     smallest-shard routing depends on compaction timing; and the base
+//     global id, so a replica can detect (and idempotently skip) a
+//     batch already present in its snapshot.
+//   - JournalCompact names the removed ids explicitly, because which
+//     tombstones a compaction sweeps depends on when it ran.
+//
+// Ordering guarantees: JournalAppend is called before the new ids are
+// published (so a delete of an id always follows its append);
+// JournalDelete is called under the tombstone lock that inserted the
+// tombstones (so a compaction's removed set always follows the deletes
+// it sweeps); JournalCompact is called after the compacted index is
+// swapped in. Implementations must be safe for concurrent use and must
+// not call back into the Sharded.
+type Journal[P any] interface {
+	// JournalAppend records a committed append of points at global ids
+	// [base, base+len(points)) into shard.
+	JournalAppend(shard int, base int32, points []P)
+	// JournalDelete records newly tombstoned ids (strictly increasing;
+	// already-dead and unknown ids from the Delete call are not
+	// repeated).
+	JournalDelete(ids []int32)
+	// JournalCompact records that shard physically removed the given
+	// tombstoned ids (strictly increasing) from its buckets.
+	JournalCompact(shard int, removed []int32)
+}
+
+// SetJournal installs the mutation journal. It must be called before
+// any Append/Delete/Compact traffic (there is no synchronization with
+// in-flight mutations); pass nil to detach. Replay methods
+// (ApplyAppend, CompactExact) never journal, so a replica that is
+// itself journaled does not echo replicated mutations.
+func (s *Sharded[P]) SetJournal(j Journal[P]) {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.tombMu.Lock()
+	defer s.tombMu.Unlock()
+	s.journal = j
 }
 
 // shardSeed derives the construction seed of shard i so that shards draw
@@ -624,13 +677,22 @@ func (s *Sharded[P]) Append(points []P) ([]int32, error) {
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
 
-	target, targetIdx := s.shards[0], 0
-	min := target.size()
+	targetIdx := 0
+	min := s.shards[0].size()
 	for j, st := range s.shards[1:] {
 		if n := st.size(); n < min {
-			target, targetIdx, min = st, j+1, n
+			targetIdx, min = j+1, n
 		}
 	}
+	return s.appendToLocked(targetIdx, points, true)
+}
+
+// appendToLocked is the shared body of Append and ApplyAppend: append
+// points to shard targetIdx under fresh global ids. Caller holds
+// appendMu. journal says whether to emit the mutation (Append does;
+// ApplyAppend, replaying a journaled mutation, must not).
+func (s *Sharded[P]) appendToLocked(targetIdx int, points []P, journal bool) ([]int32, error) {
+	target := s.shards[targetIdx]
 	base := s.nextID.Load() // only Append writes nextID, and appends serialize
 	// Guard the global id space: each shard only enforces its local
 	// count, so S shards together could otherwise overflow int32 ids.
@@ -658,8 +720,43 @@ func (s *Sharded[P]) Append(points []P) ([]int32, error) {
 		s.owners = append(s.owners, int32(targetIdx))
 	}
 	s.tombMu.Unlock()
+	// Journal before publishing through nextID: a Delete can only see
+	// these ids after the publish, so no delete frame can precede its
+	// append frame in the journal's order.
+	if journal && s.journal != nil {
+		s.journal.JournalAppend(targetIdx, base, points)
+	}
 	s.nextID.Add(int32(len(points)))
 	return ids, nil
+}
+
+// ApplyAppend replays a journaled append on a replica: points join
+// shard shardIdx under global ids [base, base+len(points)), bypassing
+// smallest-shard routing (the journaled target is authoritative — the
+// writer's routing depends on its compaction timing, which a replica
+// does not share). A batch that lies entirely below the current
+// high-water mark was already absorbed — typically via a snapshot taken
+// after the frame was journaled — and is skipped idempotently; a batch
+// starting above it means frames were lost, which is an error. Replays
+// are never re-journaled.
+func (s *Sharded[P]) ApplyAppend(shardIdx int, base int32, points []P) error {
+	if shardIdx < 0 || shardIdx >= len(s.shards) {
+		return fmt.Errorf("shard: ApplyAppend to shard %d of %d", shardIdx, len(s.shards))
+	}
+	if len(points) == 0 || base < 0 {
+		return fmt.Errorf("shard: ApplyAppend with %d points at base %d", len(points), base)
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	next := s.nextID.Load()
+	if end := int64(base) + int64(len(points)); end <= int64(next) {
+		return nil // already applied (snapshot/delta overlap)
+	}
+	if base != next {
+		return fmt.Errorf("shard: ApplyAppend base %d does not meet the high-water mark %d", base, next)
+	}
+	_, err := s.appendToLocked(shardIdx, points, false)
+	return err
 }
 
 // size returns the shard's point count (lock-taking; used for routing).
@@ -690,6 +787,7 @@ func (s *Sharded[P]) Delete(ids []int32) int {
 	s.tombMu.Lock()
 	deleted := 0
 	touched := make(map[int]struct{}) // shards that absorbed dead points in this call
+	var newlyDead []int32             // journal payload: only ids this call tombstoned
 	for _, id := range ids {
 		if id < 0 || id >= max {
 			continue
@@ -699,6 +797,9 @@ func (s *Sharded[P]) Delete(ids []int32) int {
 		}
 		s.tombs[id] = struct{}{}
 		deleted++
+		if s.journal != nil {
+			newlyDead = append(newlyDead, id)
+		}
 		if j := s.owners[id]; j >= 0 {
 			s.shardDead[j]++
 			touched[int(j)] = struct{}{}
@@ -709,6 +810,13 @@ func (s *Sharded[P]) Delete(ids []int32) int {
 	// that doesn't is stamped with the old epoch and dies.
 	for j := range touched {
 		s.shards[j].gen.Add(1)
+	}
+	// Journal still under tombMu: any compaction that sweeps these
+	// tombstones reads them under this same lock later, so its compact
+	// frame always follows this delete frame.
+	if len(newlyDead) > 0 {
+		slices.Sort(newlyDead)
+		s.journal.JournalDelete(newlyDead)
 	}
 	s.tombMu.Unlock()
 
@@ -781,6 +889,36 @@ func (s *Sharded[P]) SetAutoCompact(threshold float64) {
 // with queries, appends, deletes, snapshots and compactions of other
 // shards. Compacting a shard with no tombstoned points is a cheap no-op.
 func (s *Sharded[P]) Compact(j int) (int, error) {
+	return s.compactWith(j, nil, true)
+}
+
+// CompactExact replays a journaled compaction on a replica: it rewrites
+// shard j without exactly the given tombstoned ids (strictly the
+// intersection of removed with the shard's still-bucketed tombstones —
+// ids the shard does not hold, ids not tombstoned, and ids already
+// compacted out are skipped, which makes a replay on top of a snapshot
+// that already absorbed the compaction an idempotent no-op). The writer
+// journaled the removed set explicitly because which tombstones its
+// Compact swept depends on when it ran; a replica re-deriving the set
+// from its own tombstones could sweep deletes the writer journaled
+// after this compaction, diverging the two bucket states. Replays are
+// never re-journaled.
+func (s *Sharded[P]) CompactExact(j int, removed []int32) (int, error) {
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	pick := make(map[int32]struct{}, len(removed))
+	for _, id := range removed {
+		pick[id] = struct{}{}
+	}
+	return s.compactWith(j, pick, false)
+}
+
+// compactWith is the shared body of Compact and CompactExact: rewrite
+// shard j without its dead points, where pick (nil = every tombstoned
+// id, the Compact case) restricts the sweep to an explicit id set.
+// journal says whether to emit the mutation.
+func (s *Sharded[P]) compactWith(j int, pick map[int32]struct{}, journal bool) (int, error) {
 	if j < 0 || j >= len(s.shards) {
 		return 0, fmt.Errorf("shard: Compact(%d) with %d shards", j, len(s.shards))
 	}
@@ -799,10 +937,16 @@ func (s *Sharded[P]) Compact(j int) (int, error) {
 	ndead := 0
 	s.tombMu.RLock()
 	for l, gid := range ids0 {
-		if _, d := s.tombs[gid]; d {
-			dead[l] = true
-			ndead++
+		if _, d := s.tombs[gid]; !d {
+			continue
 		}
+		if pick != nil {
+			if _, in := pick[gid]; !in {
+				continue
+			}
+		}
+		dead[l] = true
+		ndead++
 	}
 	s.tombMu.RUnlock()
 	if ndead == 0 {
@@ -842,13 +986,24 @@ func (s *Sharded[P]) Compact(j int) (int, error) {
 	// bucket, so they stop counting toward the shard's dead ratio; they
 	// stay in tombs forever (the id space keeps its holes).
 	s.tombMu.Lock()
+	var swept []int32 // journal payload: the ids physically removed
 	for l, gid := range ids0 {
 		if dead[l] {
 			s.owners[gid] = -1
+			if journal && s.journal != nil {
+				swept = append(swept, gid)
+			}
 		}
 	}
 	s.shardDead[j] -= ndead
 	s.compactions[j]++
+	// Journal still under tombMu so the frame is ordered against the
+	// delete frames of the swept ids (which were journaled under this
+	// same lock, before phase 1 could observe their tombstones).
+	if len(swept) > 0 {
+		slices.Sort(swept)
+		s.journal.JournalCompact(j, swept)
+	}
 	s.tombMu.Unlock()
 	return ndead, nil
 }
