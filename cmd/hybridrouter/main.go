@@ -22,12 +22,20 @@
 //     caught-up one by more than -laglimit frames are demoted too —
 //     demoted, not removed: they keep being probed, rejoin on
 //     recovery, and remain a last resort when nothing healthy is left.
+//   - Epoch awareness: after a failover promotion the fleet briefly
+//     spans two writer epochs, and sequence numbers only compare
+//     within one — members still reporting an older (non-zero) epoch
+//     are demoted until they re-hydrate; epoch-0 static replicas are
+//     judged by lag alone.
 //
 // Endpoints:
 //
 //	POST /query     proxied to a replica
 //	POST /batch     proxied to a replica
-//	GET  /replicas  per-replica routing state (healthy, epoch, seq, lag)
+//	POST /promote   promote a named member to writer ({"replica": url});
+//	                forwarded to that replica's /promote, then the whole
+//	                fleet is re-probed so routing reflects the new epoch
+//	GET  /replicas  per-replica routing state (healthy, role, epoch, seq, lag)
 //	GET  /healthz   200 while at least one replica is healthy, else 503
 //	GET  /metrics   hybridlsh_router_* gauges, counters and histograms
 package main

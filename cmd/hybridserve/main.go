@@ -17,6 +17,7 @@
 //	POST /compact  {"shard": j} or empty body     -> drop tombstoned points from buckets
 //	POST /recalibrate                             -> force a cost-model refit from the drift windows
 //	POST /snapshot                                -> persist to the -snapshot path
+//	POST /promote                                 -> flip a tailing replica into the writer at a new epoch
 //	GET  /snapshot        stream the index as a hybridlsh-snap/v1 snapshot (replica hydration)
 //	GET  /delta?after=N   delta frames after sequence N (replica tailing; 410 once trimmed)
 //	GET  /replica/status  replication cursor: {"format","role","epoch","seq"}
@@ -40,6 +41,22 @@
 // cost model — refits are not journaled, and a refit can flip a
 // strategy choice, so replicas adopt new constants only through a new
 // snapshot epoch. cmd/hybridrouter fans queries out across replicas.
+//
+// # Durability and failover
+//
+// -waldir DIR spills the delta log to disk as size-capped segment files
+// (-walseg bytes each) of hybridlsh-delta/v1 frames; -fsync picks the
+// durability/latency trade (always, interval, off — see
+// docs/REPLICATION.md). A SIGKILLed writer restarted with the same
+// -waldir replays the intact frame prefix, truncates any torn tail, and
+// resumes the SAME epoch and sequence cursor, so acknowledged mutations
+// survive the crash and followers keep tailing without a re-hydrate.
+// POST /snapshot additionally truncates WAL segments the snapshot fully
+// covers, bounding the directory. POST /promote is the failover lever:
+// it flips a tailing replica into a writer at a new epoch seeded from
+// its converged cursor, re-enabling mutations, auto-compaction and (if
+// -recalibrate=auto was asked for) the drift loop; the router demotes
+// members still on the old epoch until they re-hydrate.
 //
 // # Closing the drift loop
 //
@@ -173,6 +190,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -224,6 +242,12 @@ func main() {
 		"run as a read-only replica hydrated from this source: an http(s) URL of a writer (hydrates from GET /snapshot, then tails GET /delta and converges continuously) or a local snapshot file path (static replica)")
 	flag.IntVar(&cfg.logCap, "deltalog", cfg.logCap,
 		"delta-log retention in frames on a writer; a replica that falls further behind must re-hydrate from the snapshot (0 = default)")
+	flag.StringVar(&cfg.waldir, "waldir", cfg.waldir,
+		"spill the delta log to segmented WAL files in this directory; a restarted writer replays them and resumes the same epoch and cursor, so followers keep tailing without a re-hydrate (empty = in-memory log only)")
+	flag.StringVar(&cfg.fsync, "fsync", cfg.fsync,
+		"WAL fsync policy: always (every frame durable before its ack), interval (background flush; a crash can lose the last interval) or off (the OS decides)")
+	flag.Int64Var(&cfg.walSeg, "walseg", cfg.walSeg,
+		"WAL segment rotation size in bytes (0 = default 64 MiB); snapshots truncate fully-covered segments")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -249,7 +273,7 @@ func main() {
 	if cfg.pprofAddr != "" {
 		go servePprof(cfg.pprofAddr)
 	}
-	if err := serve(cfg.addr, srv.handler(), srv.logFinalMetrics); err != nil {
+	if err := serve(cfg.addr, srv.handler(), srv.shutdown); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridserve:", err)
 		os.Exit(1)
 	}
@@ -317,6 +341,9 @@ type config struct {
 	quant         string
 	hydrate       string
 	logCap        int
+	waldir        string
+	fsync         string
+	walSeg        int64
 }
 
 func defaultConfig() config {
@@ -333,6 +360,7 @@ func defaultConfig() config {
 		compactThresh: shard.DefaultCompactionThreshold,
 		recalibrate:   "auto",
 		quant:         "off",
+		fsync:         replica.FsyncAlways,
 	}
 }
 
@@ -357,6 +385,16 @@ type backend interface {
 	snapshot(path string) (int64, error)
 	writeSnapshotTo(w io.Writer) (int64, error)
 	installJournal(l *replica.Log)
+	// syncJournal flushes the installed journal's durable sink (the WAL)
+	// through the shard-level barrier; a no-op without one.
+	syncJournal() error
+	// replayDelta applies recovered WAL frames onto the store (warm
+	// restart); the store must have auto-compaction disabled first.
+	replayDelta(hdr persist.DeltaHeader, frames [][]byte) (int, error)
+	// releaseFollower detaches the follower's store for promotion,
+	// returning the cursor it had converged to. Errors on non-follower
+	// backends.
+	releaseFollower() (epoch, seq uint64, err error)
 	topo() shard.Stats
 	maxWorkers() int
 	cost() core.CostModel
@@ -379,20 +417,30 @@ type server struct {
 	be         backend
 	loadedFrom string // snapshot path or source URL the index booted from, if any
 	// Replication wiring. Writers carry log + source (every mutation is
-	// journaled and served to replicas); -hydrate URL replicas carry
-	// follower; any -hydrate mode sets readOnly, which strips the
-	// mutating endpoints off the mux. stopFollower cancels the tail loop
-	// (tests; in production the loop dies with the process).
+	// journaled and served to replicas) and, with -waldir, wal (the
+	// log's durable spill); -hydrate URL replicas carry follower; any
+	// -hydrate mode sets readOnly, which turns the mutating endpoints
+	// into 403s. stopFollower cancels the tail loop. POST /promote
+	// rewrites this whole block at runtime — flipping a follower into a
+	// writer — so every access from a handler goes through roleMu:
+	// handlers take the read lock (via the repl* helpers), promotion
+	// takes the write lock.
+	roleMu       sync.RWMutex
 	log          *replica.Log
 	source       *replica.Source
 	follower     followerAPI
+	wal          *replica.WAL
 	readOnly     bool
 	stopFollower context.CancelFunc
-	lat          *stats.Recorder // per-query wall latency, microseconds
-	start        time.Time
-	queries      atomic.Int64 // queries answered (batch members count)
-	lshAns       atomic.Int64 // shard answers via LSH-based search
-	linAns       atomic.Int64 // shard answers via linear scan
+	// recalWanted remembers the -recalibrate flag before the follower
+	// override forced it off, so a promotion can re-enable the drift
+	// loop the operator asked for.
+	recalWanted string
+	lat         *stats.Recorder // per-query wall latency, microseconds
+	start       time.Time
+	queries     atomic.Int64 // queries answered (batch members count)
+	lshAns      atomic.Int64 // shard answers via LSH-based search
+	linAns      atomic.Int64 // shard answers via linear scan
 	// Multi-probe counters (zero on classic backends): queries answered
 	// via the probe path, the summed T they used, and how many carried a
 	// per-request override.
@@ -423,6 +471,26 @@ type server struct {
 // auto-recalibration checks; the check itself is a couple of window
 // snapshots, so this only bounds Stats() traffic.
 const recalEvery = 64
+
+// replState is one coherent snapshot of the promotion-mutable
+// replication block. Handlers grab it once per request via repl() and
+// act on the copy, so a concurrent promotion can never hand them half
+// of the old role and half of the new.
+type replState struct {
+	log      *replica.Log
+	source   *replica.Source
+	follower followerAPI
+	wal      *replica.WAL
+	readOnly bool
+	recal    *obs.Recalibrator
+}
+
+func (s *server) repl() replState {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return replState{log: s.log, source: s.source, follower: s.follower,
+		wal: s.wal, readOnly: s.readOnly, recal: s.recal}
+}
 
 func newServer(cfg config) (*server, error) {
 	if cfg.shards < 1 {
@@ -483,7 +551,19 @@ func newServer(cfg config) (*server, error) {
 	if cfg.logCap < 0 {
 		return nil, fmt.Errorf("deltalog = %d, want >= 0 (0 = default %d)", cfg.logCap, replica.DefaultLogCap)
 	}
+	switch cfg.fsync {
+	case replica.FsyncAlways, replica.FsyncInterval, replica.FsyncOff:
+	default:
+		return nil, fmt.Errorf("fsync = %q, want %s, %s or %s", cfg.fsync, replica.FsyncAlways, replica.FsyncInterval, replica.FsyncOff)
+	}
+	if cfg.walSeg < 0 {
+		return nil, fmt.Errorf("walseg = %d, want >= 0 (0 = default %d)", cfg.walSeg, int64(replica.DefaultSegmentBytes))
+	}
 	followURL := strings.HasPrefix(cfg.hydrate, "http://") || strings.HasPrefix(cfg.hydrate, "https://")
+	if cfg.waldir != "" && cfg.hydrate != "" && !followURL {
+		return nil, errors.New("-waldir is unsupported on a static (-hydrate path) replica: it never writes and cannot be promoted")
+	}
+	recalWanted := cfg.recalibrate
 	if cfg.hydrate != "" {
 		if cfg.snapshot != "" {
 			return nil, errors.New("-hydrate and -snapshot are mutually exclusive: replicas never write snapshots")
@@ -574,6 +654,64 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("unknown metric %q (want l2 or hamming)", cfg.metric)
 		}
 	}
+	var dlog *replica.Log
+	var source *replica.Source
+	var wal *replica.WAL
+	if !readOnly {
+		// Every writer is a replication source: mutations are journaled as
+		// delta frames, and GET /snapshot + GET /delta serve hydration and
+		// tailing. The epoch is this process incarnation — without a WAL,
+		// a restart gets a fresh epoch, forcing replicas back through the
+		// snapshot (the in-memory log died with the old process). With
+		// -waldir the log survives: the recovered epoch and cursor win, so
+		// a warm-restarted writer resumes exactly where the crash cut it
+		// off and followers keep tailing without a re-hydrate.
+		hdr := persist.DeltaHeader{
+			Epoch:  uint64(time.Now().UnixNano()),
+			Metric: cfg.metric,
+			Dim:    cfg.dim,
+		}
+		if cfg.waldir != "" {
+			w, rec, err := replica.OpenWAL(cfg.waldir, hdr, replica.WALOptions{
+				SegmentBytes: cfg.walSeg, Fsync: cfg.fsync,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("waldir %s: %w", cfg.waldir, err)
+			}
+			if rec.FirstSeq > 1 && loadedFrom == "" {
+				// Snapshot-driven retention truncated the prefix [1,FirstSeq);
+				// replaying the suffix onto a synthetic base would silently
+				// drop those mutations.
+				w.Close()
+				return nil, fmt.Errorf("waldir %s starts at seq %d: the truncated prefix lives in a snapshot, boot with -snapshot pointing at it", cfg.waldir, rec.FirstSeq)
+			}
+			hdr.Epoch = rec.Epoch // disk wins: followers key on the epoch
+			if len(rec.Frames) > 0 {
+				// Replay exactly as a follower would: auto-compaction off, so
+				// journaled compactions land as recorded, never on this
+				// boot's own clock. (A snapshot base may already cover a
+				// prefix of the frames; replay absorbs the overlap
+				// idempotently, same as hydration.)
+				be.autoCompact(1)
+				applied, rerr := be.replayDelta(hdr, rec.Frames)
+				if rerr != nil {
+					w.Close()
+					return nil, fmt.Errorf("waldir %s: replaying frame %d: %w", cfg.waldir, rec.FirstSeq+uint64(applied), rerr)
+				}
+			}
+			if rec.TruncatedBytes > 0 || rec.DroppedSegments > 0 {
+				log.Printf("hybridserve: wal recovery cut %d torn tail bytes and dropped %d segments", rec.TruncatedBytes, rec.DroppedSegments)
+			}
+			if rec.LastSeq >= rec.FirstSeq {
+				log.Printf("hybridserve: wal %s replayed %d frames, resuming epoch %d at seq %d", cfg.waldir, len(rec.Frames), rec.Epoch, rec.LastSeq)
+			}
+			dlog = replica.RestoreLog(hdr, cfg.logCap, rec.FirstSeq, rec.Frames)
+			dlog.AttachWAL(w)
+			wal = w
+		} else {
+			dlog = replica.NewLog(hdr, cfg.logCap)
+		}
+	}
 	if !readOnly {
 		// Replicas never self-compact: compactions replay exactly as the
 		// writer journaled them (Hydrate already disabled the auto clock),
@@ -587,24 +725,16 @@ func newServer(cfg config) (*server, error) {
 			return nil, err
 		}
 	}
-	var dlog *replica.Log
-	var source *replica.Source
 	if !readOnly {
-		// Every writer is a replication source: mutations are journaled as
-		// delta frames, and GET /snapshot + GET /delta serve hydration and
-		// tailing. The epoch is this process incarnation — a restart gets
-		// a fresh epoch, forcing replicas back through the snapshot (the
-		// in-memory log died with the old process).
-		dlog = replica.NewLog(persist.DeltaHeader{
-			Epoch:  uint64(time.Now().UnixNano()),
-			Metric: cfg.metric,
-			Dim:    cfg.dim,
-		}, cfg.logCap)
+		// Installed after any WAL replay, so replayed frames are never
+		// re-journaled (replay methods do not journal anyway; this keeps
+		// the ordering obvious).
 		be.installJournal(dlog)
 		source = &replica.Source{Log: dlog, WriteSnapshot: be.writeSnapshotTo}
 	}
 	srv := &server{cfg: cfg, be: be, loadedFrom: loadedFrom,
-		log: dlog, source: source, follower: fol, readOnly: readOnly, stopFollower: stopFollower,
+		log: dlog, source: source, follower: fol, wal: wal, readOnly: readOnly,
+		stopFollower: stopFollower, recalWanted: recalWanted,
 		lat: stats.NewRecorder(cfg.window), start: time.Now()}
 	srv.reg = obs.NewRegistry()
 	srv.metrics = obs.NewServerMetrics(srv.reg, cfg.window)
@@ -617,6 +747,34 @@ func newServer(cfg config) (*server, error) {
 	srv.reg.NewGaugeVec("hybridlsh_info",
 		"Serving configuration (always 1); the labels carry the mode.", "metric", "mode").
 		With(cfg.metric, srv.modeName()).Set(1)
+	// Journaling health: a non-zero error count means acknowledged
+	// mutations stopped reaching the delta log (and so replicas and the
+	// WAL) — the one replication failure that is otherwise silent. Read
+	// through repl() because promotion swaps the log in at runtime.
+	srv.reg.NewCounterFunc("hybridlsh_deltalog_errors_total",
+		"Delta-log journaling failures (encode or WAL append); non-zero means replicas may be missing acknowledged mutations.",
+		func() float64 {
+			if l := srv.repl().log; l != nil {
+				return float64(l.Errors())
+			}
+			return 0
+		})
+	srv.reg.NewGaugeFunc("hybridlsh_wal_segments",
+		"Segment files in the delta-log WAL directory (0 without -waldir).",
+		func() float64 {
+			if w := srv.repl().wal; w != nil {
+				return float64(w.Stats().Segments)
+			}
+			return 0
+		})
+	srv.reg.NewGaugeFunc("hybridlsh_wal_last_seq",
+		"Highest sequence number durably appended to the WAL (0 without -waldir).",
+		func() float64 {
+			if w := srv.repl().wal; w != nil {
+				return float64(w.Stats().LastSeq)
+			}
+			return 0
+		})
 	return srv, nil
 }
 
@@ -927,11 +1085,19 @@ type engine[P any] struct {
 	radius    int
 	writeSnap func(w io.Writer, sh *shard.Sharded[P]) (int64, error)
 	cacheKey  func(P) string // exact query encoding for -cache (see shard.EnableCache)
+	// pinned is set by releaseFollower: once a follower is promoted its
+	// store stops moving (no more re-hydrations), so it is pinned here
+	// and wins over the follower indirection.
+	pinned atomic.Pointer[shard.Sharded[P]]
 }
 
 // store returns the serving index: the fixed one for writers and
-// path-hydrated replicas, the follower's current hydration otherwise.
+// path-hydrated replicas, the promotion-pinned one on an ex-follower,
+// the follower's current hydration otherwise.
 func (e *engine[P]) store() *shard.Sharded[P] {
+	if p := e.pinned.Load(); p != nil {
+		return p
+	}
 	if e.follower != nil {
 		return e.follower.Store()
 	}
@@ -1129,6 +1295,30 @@ func (e *engine[P]) installJournal(l *replica.Log) {
 	e.store().SetJournal(replica.NewRecorder[P](l))
 }
 
+// syncJournal flushes the journal's WAL through the shard-level barrier
+// (appends in flight finish journaling first); a no-op without a WAL.
+func (e *engine[P]) syncJournal() error { return e.store().SyncJournal() }
+
+// replayDelta applies recovered WAL frames onto the store, returning
+// how many applied before any error.
+func (e *engine[P]) replayDelta(hdr persist.DeltaHeader, frames [][]byte) (int, error) {
+	return replica.ReplayRaw(e.store(), hdr, frames)
+}
+
+// releaseFollower detaches the follower's converged store for promotion
+// and pins it as this engine's serving index.
+func (e *engine[P]) releaseFollower() (epoch, seq uint64, err error) {
+	if e.follower == nil {
+		return 0, 0, errors.New("not a tailing follower")
+	}
+	sh, epoch, seq, err := e.follower.Release()
+	if err != nil {
+		return 0, 0, err
+	}
+	e.pinned.Store(sh)
+	return epoch, seq, nil
+}
+
 func (e *engine[P]) maxWorkers() int { return e.store().DefaultBatchWorkers() }
 
 func (e *engine[P]) topo() shard.Stats { return e.store().Stats() }
@@ -1169,9 +1359,11 @@ func (s *server) record(r *queryResult) {
 	// compactions (resetting stale windows) and run the dead-band check.
 	// Cache hits carry no per-shard stats, so they never feed the drift
 	// windows the refitter reads — only genuine fan-out timings do.
-	if s.recal != nil && s.recalTick.Add(1)%recalEvery == 0 {
-		s.recal.NoteCompactions(s.be.topo().CompactionsTotal)
-		s.recal.Check()
+	if s.recalTick.Add(1)%recalEvery == 0 {
+		if rc := s.repl().recal; rc != nil {
+			rc.NoteCompactions(s.be.topo().CompactionsTotal)
+			rc.Check()
+		}
 	}
 	if n := s.cfg.traceSample; n > 0 && s.sampled.Add(1)%int64(n) == 0 {
 		if b, err := json.Marshal(s.traceOf(r)); err == nil {
@@ -1193,29 +1385,21 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
-	if s.readOnly {
-		// Replicas take no direct writes: mutations flow through the
-		// writer and reach replicas via the delta log. Mounting explicit
-		// rejections (rather than leaving the routes unmounted) turns a
-		// misdirected write into a clear 403 instead of a generic 404.
-		for _, ep := range []string{"POST /append", "POST /delete", "POST /compact", "POST /recalibrate", "POST /snapshot"} {
-			mux.HandleFunc(ep, s.handleReadOnly)
-		}
-	} else {
-		mux.HandleFunc("POST /append", s.handleAppend)
-		mux.HandleFunc("POST /delete", s.handleDelete)
-		mux.HandleFunc("POST /compact", s.handleCompact)
-		mux.HandleFunc("POST /recalibrate", s.handleRecalibrate)
-		mux.HandleFunc("POST /snapshot", s.handleSnapshot)
-	}
-	switch {
-	case s.source != nil: // writer: snapshot + delta + status feed
-		s.source.Register(mux)
-	case s.follower != nil: // tailing replica: cursor for router lag checks
-		mux.HandleFunc("GET /replica/status", s.follower.ServeStatus)
-	default: // static -hydrate path replica: pinned, no epoch, no tail
-		mux.HandleFunc("GET /replica/status", s.handleStaticStatus)
-	}
+	// Every role-dependent route is mounted unconditionally and gated at
+	// request time, because POST /promote changes the role while the
+	// listener is serving: a follower answers the mutating endpoints with
+	// a clear 403 (rather than a generic 404) until promotion flips it
+	// into a writer, after which the same routes start mutating — no mux
+	// rebuild, the listener never blinks.
+	mux.HandleFunc("POST /append", s.mutating(s.handleAppend))
+	mux.HandleFunc("POST /delete", s.mutating(s.handleDelete))
+	mux.HandleFunc("POST /compact", s.mutating(s.handleCompact))
+	mux.HandleFunc("POST /recalibrate", s.mutating(s.handleRecalibrate))
+	mux.HandleFunc("POST /snapshot", s.mutating(s.handleSnapshot))
+	mux.HandleFunc("POST /promote", s.handlePromote)
+	mux.HandleFunc("GET /snapshot", s.handleReplSnapshot)
+	mux.HandleFunc("GET /delta", s.handleReplDelta)
+	mux.HandleFunc("GET /replica/status", s.handleReplStatus)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.reg)
 	// MaxBytesHandler wraps every request body in http.MaxBytesReader, so
@@ -1261,9 +1445,120 @@ func (s *server) handleReadOnly(w http.ResponseWriter, r *http.Request) {
 		fmt.Errorf("read-only replica: %s is only served by the writer (this server was started with -hydrate)", r.URL.Path))
 }
 
-// handleStaticStatus is GET /replica/status on -hydrate path replicas.
-func (s *server) handleStaticStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, replica.StatusResponse{Format: persist.DeltaFormatName, Role: "static"})
+// mutating gates a write endpoint on the current role: replicas take no
+// direct writes (mutations flow through the writer and reach them via
+// the delta log) until a promotion flips readOnly off.
+func (s *server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.repl().readOnly {
+			s.handleReadOnly(w, r)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleReplSnapshot is GET /snapshot: only a writer streams hydration
+// snapshots (a replica's copy may be mid-convergence).
+func (s *server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	st := s.repl()
+	if st.source == nil {
+		writeErr(w, http.StatusNotFound, errors.New("not a writer: no snapshot feed (hydrate from the writer)"))
+		return
+	}
+	st.source.ServeSnapshot(w, r)
+}
+
+// handleReplDelta is GET /delta: the writer's frame feed.
+func (s *server) handleReplDelta(w http.ResponseWriter, r *http.Request) {
+	st := s.repl()
+	if st.source == nil {
+		writeErr(w, http.StatusNotFound, errors.New("not a writer: no delta feed (tail the writer)"))
+		return
+	}
+	st.source.ServeDelta(w, r)
+}
+
+// handleReplStatus is GET /replica/status, dispatched on the current
+// role: the writer reports its log cursor, a tailing follower its
+// convergence cursor, a static replica a pinned epoch-0 status.
+func (s *server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.repl()
+	switch {
+	case st.source != nil:
+		st.source.ServeStatus(w, r)
+	case st.follower != nil:
+		st.follower.ServeStatus(w, r)
+	default:
+		writeJSON(w, http.StatusOK, replica.StatusResponse{Format: persist.DeltaFormatName, Role: "static"})
+	}
+}
+
+// handlePromote flips a tailing follower into the writer: the tail loop
+// is stopped, the converged store released and pinned, and a fresh log
+// (plus WAL, with -waldir) is started at a new epoch seeded from the
+// replayed cursor — appends, compaction and (if the operator asked for
+// it) recalibration come back to life. The old epoch's frames stay
+// behind on the old writer; followers of the new writer re-hydrate onto
+// the new epoch, which the router detects (see cmd/hybridrouter).
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if !s.readOnly {
+		writeErr(w, http.StatusConflict, errors.New("already the writer"))
+		return
+	}
+	if s.follower == nil {
+		writeErr(w, http.StatusConflict, errors.New("static replica (-hydrate path): no delta cursor to promote from"))
+		return
+	}
+	// Stop the tail loop before detaching the store, so no frame from the
+	// old writer lands after the cursor is read; Release serializes with
+	// any poll already in flight.
+	s.stopFollower()
+	oldEpoch, seq, err := s.be.releaseFollower()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	newEpoch := uint64(time.Now().UnixNano())
+	if newEpoch <= oldEpoch {
+		newEpoch = oldEpoch + 1 // clock skew: epochs must still advance
+	}
+	hdr := persist.DeltaHeader{Epoch: newEpoch, Metric: s.cfg.metric, Dim: s.cfg.dim}
+	dlog := replica.RestoreLog(hdr, s.cfg.logCap, seq+1, nil)
+	if s.cfg.waldir != "" {
+		wl, rec, werr := replica.OpenWAL(s.cfg.waldir, hdr, replica.WALOptions{
+			SegmentBytes: s.cfg.walSeg, Fsync: s.cfg.fsync, StartSeq: seq + 1,
+		})
+		if werr != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("waldir %s: %w", s.cfg.waldir, werr))
+			return
+		}
+		if rec.Epoch != newEpoch || rec.LastSeq != seq {
+			// The directory already holds another incarnation's segments;
+			// mixing epochs in one WAL would make the next recovery resume
+			// the wrong one.
+			wl.Close()
+			writeErr(w, http.StatusConflict, fmt.Errorf(
+				"waldir %s holds epoch %d frames through seq %d: promotion needs an empty WAL directory", s.cfg.waldir, rec.Epoch, rec.LastSeq))
+			return
+		}
+		dlog.AttachWAL(wl)
+		s.wal = wl
+	}
+	s.be.installJournal(dlog)
+	s.be.autoCompact(s.cfg.compactThresh)
+	s.log = dlog
+	s.source = &replica.Source{Log: dlog, WriteSnapshot: s.be.writeSnapshotTo}
+	s.follower = nil
+	s.readOnly = false
+	if s.recalWanted == "auto" && s.recal == nil {
+		s.recal = obs.NewRecalibrator(s.reg, s.metrics.Drift, s.be.cost, s.be.setCost,
+			obs.RecalibratorConfig{}, log.Printf)
+	}
+	log.Printf("hybridserve: promoted to writer at epoch %d, resuming after seq %d (old epoch %d)", newEpoch, seq, oldEpoch)
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "epoch": newEpoch, "seq": seq})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1416,11 +1711,12 @@ func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // model is rejected (409) with the serving model left untouched.
 // Disabled together with the auto policy by -recalibrate=off.
 func (s *server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
-	if s.recal == nil {
+	rc := s.repl().recal
+	if rc == nil {
 		writeErr(w, http.StatusBadRequest, errors.New("recalibration disabled: start the server with -recalibrate=auto"))
 		return
 	}
-	old, next, err := s.recal.Force()
+	old, next, err := rc.Force()
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -1429,7 +1725,7 @@ func (s *server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"old":          costJSON(old),
 		"new":          costJSON(next),
-		"refits_total": s.recal.Refits(),
+		"refits_total": rc.Refits(),
 	})
 }
 
@@ -1452,18 +1748,35 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("no snapshot path configured: start the server with -snapshot"))
 		return
 	}
+	st := s.repl()
+	// Read the covered cursor before serializing: the snapshot sees at
+	// least every mutation journaled up to here, so WAL segments whose
+	// frames all fall at or below it are redundant once the write lands.
+	covered := uint64(0)
+	if st.log != nil {
+		covered = st.log.Seq()
+	}
 	t0 := time.Now()
 	n, err := s.be.snapshot(path)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	walRemoved := 0
+	if st.wal != nil {
+		if serr := s.be.syncJournal(); serr != nil {
+			log.Printf("hybridserve: wal sync before truncation: %v", serr)
+		} else if walRemoved, err = st.wal.TruncateThrough(covered); err != nil {
+			log.Printf("hybridserve: wal truncation: %v", err)
+		}
+	}
 	log.Printf("hybridserve: wrote snapshot %s (%d bytes in %v)", path, n, time.Since(t0).Round(time.Millisecond))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"path":     path,
-		"bytes":    n,
-		"live":     s.be.topo().Live,
-		"write_ms": float64(time.Since(t0).Microseconds()) / 1000,
+		"path":                 path,
+		"bytes":                n,
+		"live":                 s.be.topo().Live,
+		"write_ms":             float64(time.Since(t0).Microseconds()) / 1000,
+		"wal_segments_removed": walRemoved,
 	})
 }
 
@@ -1484,11 +1797,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cover["covered_queries"] = s.coverQueries.Load()
 		cover["override_queries"] = s.coverOverrides.Load()
 	}
-	recal := map[string]any{"enabled": s.recal != nil, "cost": costJSON(s.be.cost())}
-	if s.recal != nil {
-		recal["dead_band"] = s.recal.DeadBand()
-		recal["min_samples"] = s.recal.MinSamples()
-		recal["refits_total"] = s.recal.Refits()
+	st := s.repl()
+	recal := map[string]any{"enabled": st.recal != nil, "cost": costJSON(s.be.cost())}
+	if st.recal != nil {
+		recal["dead_band"] = st.recal.DeadBand()
+		recal["min_samples"] = st.recal.MinSamples()
+		recal["refits_total"] = st.recal.Refits()
 	}
 	cache := map[string]any{"enabled": topo.CacheEnabled}
 	if topo.CacheEnabled {
@@ -1498,20 +1812,29 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cache["misses"] = topo.CacheMisses
 		cache["invalidations"] = topo.CacheInvalidations
 	}
-	repl := map[string]any{"read_only": s.readOnly}
+	repl := map[string]any{"read_only": st.readOnly}
 	switch {
-	case s.follower != nil:
-		epoch, seq := s.follower.Cursor()
+	case st.follower != nil:
+		epoch, seq := st.follower.Cursor()
 		repl["role"] = "follower"
 		repl["source"] = s.cfg.hydrate
 		repl["epoch"] = epoch
 		repl["seq"] = seq
-		repl["rehydrates"] = s.follower.Rehydrates()
-		repl["frames_applied"] = s.follower.Applied()
-	case s.source != nil:
+		repl["rehydrates"] = st.follower.Rehydrates()
+		repl["frames_applied"] = st.follower.Applied()
+	case st.source != nil:
 		repl["role"] = "source"
-		repl["epoch"] = s.log.Epoch()
-		repl["seq"] = s.log.Seq()
+		repl["epoch"] = st.log.Epoch()
+		repl["seq"] = st.log.Seq()
+		repl["journal_errors"] = st.log.Errors()
+		jerr := ""
+		if err := st.log.Err(); err != nil {
+			jerr = err.Error()
+		}
+		repl["journal_error"] = jerr
+		if st.wal != nil {
+			repl["wal"] = st.wal.Stats()
+		}
 	default:
 		repl["role"] = "static"
 		repl["source"] = s.cfg.hydrate
@@ -1556,6 +1879,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// shutdown runs after the request drain on graceful stop: flush the
+// final metrics line, then sync and close the WAL so a clean exit never
+// leaves an unflushed tail (crash recovery handles the unclean one).
+func (s *server) shutdown() {
+	s.logFinalMetrics()
+	if st := s.repl(); st.wal != nil {
+		if err := s.be.syncJournal(); err != nil {
+			log.Printf("hybridserve: wal sync on shutdown: %v", err)
+		}
+		if err := st.wal.Close(); err != nil {
+			log.Printf("hybridserve: wal close: %v", err)
+		}
+	}
+}
+
 // logFinalMetrics flushes a last metrics snapshot to the log on
 // graceful shutdown, after the request drain — the counters' final
 // state for post-mortems, in one structured JSON line.
@@ -1563,8 +1901,8 @@ func (s *server) logFinalMetrics() {
 	topo := s.be.topo()
 	d := s.metrics.Drift.Snapshot()
 	refits := int64(0)
-	if s.recal != nil {
-		refits = s.recal.Refits()
+	if rc := s.repl().recal; rc != nil {
+		refits = rc.Refits()
 	}
 	b, err := json.Marshal(map[string]any{
 		"queries":              s.queries.Load(),

@@ -22,6 +22,10 @@ import (
 // must hydrate from a fresh snapshot.
 var ErrRehydrate = errors.New("replica: cursor invalid, re-hydrate from snapshot")
 
+// ErrReleased reports that the follower has handed its store off to a
+// promotion (Release) and will never hydrate or poll again.
+var ErrReleased = errors.New("replica: follower released for promotion")
+
 // SnapshotReader decodes one snapshot stream into a Sharded (e.g.
 // persist.ReadSharded for classic/multi-probe shards,
 // persist.ReadShardedCovering for covering shards).
@@ -44,11 +48,12 @@ type Follower[P any] struct {
 
 	store atomic.Pointer[shard.Sharded[P]]
 
-	tailMu sync.Mutex // serializes Hydrate/Poll (the only cursor writers)
-	epoch  atomic.Uint64
-	seq    atomic.Uint64
-	metaMu sync.Mutex
-	meta   persist.Meta
+	tailMu   sync.Mutex // serializes Hydrate/Poll (the only cursor writers)
+	released bool       // guarded by tailMu; set once by Release
+	epoch    atomic.Uint64
+	seq      atomic.Uint64
+	metaMu   sync.Mutex
+	meta     persist.Meta
 
 	// Convergence observability.
 	polls      atomic.Int64
@@ -115,6 +120,9 @@ func (f *Follower[P]) ServeStatus(w http.ResponseWriter, r *http.Request) {
 func (f *Follower[P]) Hydrate(ctx context.Context) error {
 	f.tailMu.Lock()
 	defer f.tailMu.Unlock()
+	if f.released {
+		return ErrReleased
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+"/snapshot", nil)
 	if err != nil {
 		return err
@@ -157,6 +165,9 @@ func (f *Follower[P]) Hydrate(ctx context.Context) error {
 func (f *Follower[P]) Poll(ctx context.Context) (int, error) {
 	f.tailMu.Lock()
 	defer f.tailMu.Unlock()
+	if f.released {
+		return 0, ErrReleased
+	}
 	sh := f.store.Load()
 	if sh == nil {
 		return 0, ErrRehydrate
@@ -235,6 +246,9 @@ func (f *Follower[P]) Run(ctx context.Context, interval time.Duration) {
 				err = f.Hydrate(ctx)
 			}
 		}
+		if errors.Is(err, ErrReleased) {
+			return // promoted: the store is a writer's now
+		}
 		if err != nil && ctx.Err() == nil {
 			fails++
 		} else {
@@ -254,6 +268,26 @@ func (f *Follower[P]) Run(ctx context.Context, interval time.Duration) {
 		case <-time.After(wait):
 		}
 	}
+}
+
+// Release hands the follower's store off for promotion: it stops the
+// follower permanently (Hydrate and Poll return ErrReleased, Run
+// exits) and returns the store with the cursor it had converged to.
+// The caller owns the store from here — typically re-enabling
+// compaction and installing a journal at a fresh epoch seeded from the
+// returned sequence number. Fails when the follower never hydrated.
+func (f *Follower[P]) Release() (*shard.Sharded[P], uint64, uint64, error) {
+	f.tailMu.Lock()
+	defer f.tailMu.Unlock()
+	if f.released {
+		return nil, 0, 0, ErrReleased
+	}
+	sh := f.store.Load()
+	if sh == nil {
+		return nil, 0, 0, errors.New("replica: release before first hydrate")
+	}
+	f.released = true
+	return sh, f.epoch.Load(), f.seq.Load(), nil
 }
 
 // Apply replays one decoded delta frame onto a replica store through

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/persist"
 )
@@ -60,7 +61,14 @@ type Log struct {
 	first  uint64   // sequence number of frames[0]; 1 until trimming starts
 	next   uint64   // next sequence number to assign (last assigned + 1)
 	cap    int
-	err    error // sticky encode failure; the log refuses to serve past it
+	err    error // sticky encode/WAL failure; the log refuses to serve past it
+	wal    *WAL  // optional durable spill; nil keeps the log memory-only
+
+	// errs counts mutations the log refused or failed to record — every
+	// one is a frame followers will never see. Surfaced as
+	// hybridlsh_deltalog_errors_total so a latched log is visible to
+	// operators instead of silently serving errors to followers.
+	errs atomic.Int64
 }
 
 // NewLog opens an empty log for one writer epoch. capFrames bounds
@@ -71,6 +79,53 @@ func NewLog(hdr persist.DeltaHeader, capFrames int) *Log {
 	}
 	return &Log{hdr: hdr, first: 1, next: 1, cap: capFrames}
 }
+
+// RestoreLog rebuilds a log from recovered state: frames holds the
+// encoded frames carrying sequence numbers firstSeq, firstSeq+1, ...
+// (as WALRecovery reports them), and the log resumes assigning from
+// the frame after the last one. A promotion restores with no frames at
+// a cursor > 0: the new epoch starts counting from the promoted
+// follower's replayed position.
+func RestoreLog(hdr persist.DeltaHeader, capFrames int, firstSeq uint64, frames [][]byte) *Log {
+	l := NewLog(hdr, capFrames)
+	if firstSeq == 0 {
+		firstSeq = 1
+	}
+	l.first = firstSeq
+	l.next = firstSeq + uint64(len(frames))
+	l.frames = append([][]byte(nil), frames...)
+	if over := len(l.frames) - l.cap; over > 0 {
+		l.frames = append([][]byte(nil), l.frames[over:]...)
+		l.first += uint64(over)
+	}
+	return l
+}
+
+// AttachWAL spills every subsequent record to w, in commit order (the
+// append happens under the log mutex, after encoding and before the
+// frame becomes visible to Since). The WAL's cursor must already match
+// the log's — attach immediately after NewLog/RestoreLog, before the
+// recorder is installed.
+func (l *Log) AttachWAL(w *WAL) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wal = w
+}
+
+// Sync flushes the attached WAL (a no-op for a memory-only log).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	w := l.wal
+	l.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Sync()
+}
+
+// Errors returns how many mutations the log failed or refused to
+// record since construction (each one is a lost frame).
+func (l *Log) Errors() int64 { return l.errs.Load() }
 
 // Header returns the log's delta header (epoch, metric, dim).
 func (l *Log) Header() persist.DeltaHeader { return l.hdr }
@@ -103,12 +158,24 @@ func (l *Log) record(encode func(seq uint64) ([]byte, error)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
+		l.errs.Add(1) // latched: this mutation's frame is lost too
 		return
 	}
 	frame, err := encode(l.next)
 	if err != nil {
 		l.err = fmt.Errorf("replica: delta frame %d: %w", l.next, err)
+		l.errs.Add(1)
 		return
+	}
+	if l.wal != nil {
+		if err := l.wal.Append(l.next, frame); err != nil {
+			// The frame never reached disk: latch before retaining it, or a
+			// crash would lose an acknowledged mutation the in-memory log
+			// kept serving.
+			l.err = fmt.Errorf("replica: delta frame %d: %w", l.next, err)
+			l.errs.Add(1)
+			return
+		}
 	}
 	l.frames = append(l.frames, frame)
 	l.next++
@@ -173,6 +240,11 @@ func (r *Recorder[P]) JournalDelete(ids []int32) {
 		})
 	})
 }
+
+// SyncJournal implements shard.JournalSyncer: it forces the log's
+// durable spill (if any) to stable storage, so a snapshot can claim a
+// prefix is covered before WAL retention truncates it.
+func (r *Recorder[P]) SyncJournal() error { return r.log.Sync() }
 
 // JournalCompact implements shard.Journal.
 func (r *Recorder[P]) JournalCompact(shard int, removed []int32) {

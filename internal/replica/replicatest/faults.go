@@ -13,6 +13,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 )
@@ -190,4 +192,66 @@ func (c *dyingConn) Write(p []byte) (int, error) {
 		return n, fmt.Errorf("%w: connection killed after budget", ErrInjected)
 	}
 	return n, nil
+}
+
+// ---- on-disk injection ----
+//
+// The WAL recovery tests corrupt segment files the way real crashes
+// and sick disks do: torn tails (truncation), flipped bits, and trailing
+// garbage from a partially reused block.
+
+// FlipBit XORs one bit of the file at path: byte offset off, bit 0-7.
+func FlipBit(path string, off int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// TruncateFile cuts the file at path down to size bytes (a torn write:
+// the crash landed mid-frame).
+func TruncateFile(path string, size int64) error {
+	return os.Truncate(path, size)
+}
+
+// AppendGarbage appends b to the file at path (a partially reused block
+// past the last durable frame).
+func AppendGarbage(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(b)
+	return err
+}
+
+// CopyDir copies every regular file in src into dst (which must exist),
+// so a pristine WAL directory can be faulted repeatedly from one build.
+func CopyDir(src, dst string) error {
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

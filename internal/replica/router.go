@@ -69,8 +69,16 @@ type member struct {
 	healthy atomic.Bool
 	epoch   atomic.Uint64
 	seq     atomic.Uint64
+	role    atomic.Value  // string; last probed StatusResponse.Role
 	fails   atomic.Uint32 // consecutive health-check failures (backoff exponent)
 	nextRaw atomic.Int64  // next health probe, unix nanos
+}
+
+func (m *member) roleName() string {
+	if r, _ := m.role.Load().(string); r != "" {
+		return r
+	}
+	return "unknown"
 }
 
 // MemberStatus is one replica's routing state as reported by /replicas
@@ -78,6 +86,7 @@ type member struct {
 type MemberStatus struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
+	Role    string `json:"role"`
 	Epoch   uint64 `json:"epoch"`
 	Seq     uint64 `json:"seq"`
 	Lag     uint64 `json:"lag"`
@@ -189,12 +198,17 @@ func (rt *Router) Members() []MemberStatus {
 	out := make([]MemberStatus, len(rt.members))
 	for i, m := range rt.members {
 		s := m.seq.Load()
+		var lag uint64
+		if s < maxSeq {
+			lag = maxSeq - s
+		}
 		out[i] = MemberStatus{
 			URL:     m.url,
 			Healthy: m.healthy.Load(),
+			Role:    m.roleName(),
 			Epoch:   m.epoch.Load(),
 			Seq:     s,
-			Lag:     maxSeq - s,
+			Lag:     lag,
 		}
 	}
 	return out
@@ -293,6 +307,7 @@ func (rt *Router) probe(ctx context.Context, m *member) {
 	}
 	m.epoch.Store(st.Epoch)
 	m.seq.Store(st.Seq)
+	m.role.Store(st.Role)
 	m.fails.Store(0)
 	m.nextRaw.Store(time.Now().Add(rt.cfg.HealthEvery).UnixNano())
 }
@@ -311,13 +326,28 @@ func (rt *Router) probeFailed(m *member) {
 // reconcileLag promotes reachable, caught-up replicas and demotes
 // reachable-but-lagging ones, measuring lag against the most caught-up
 // member (quorum-less: there is no leader to ask, the freshest replica
-// defines "caught up").
+// defines "caught up"). Epoch awareness: after a promotion the fleet
+// briefly spans two epochs, and sequence numbers only compare within
+// one — so members on an older (non-zero) epoch are demoted outright
+// until they re-hydrate, and lag is measured among the newest epoch.
+// Epoch 0 is a static replica (no replication cursor at all): it is
+// exempt from the epoch rule and judged by lag alone, as before.
 func (rt *Router) reconcileLag() {
+	var maxEpoch uint64
+	for _, m := range rt.members {
+		if m.fails.Load() == 0 {
+			if e := m.epoch.Load(); e > maxEpoch {
+				maxEpoch = e
+			}
+		}
+	}
 	var maxSeq uint64
 	for _, m := range rt.members {
 		if m.fails.Load() == 0 {
-			if s := m.seq.Load(); s > maxSeq {
-				maxSeq = s
+			if e := m.epoch.Load(); e == maxEpoch || e == 0 {
+				if s := m.seq.Load(); s > maxSeq {
+					maxSeq = s
+				}
 			}
 		}
 	}
@@ -325,7 +355,18 @@ func (rt *Router) reconcileLag() {
 		if m.fails.Load() != 0 {
 			continue // unreachable; probeFailed already demoted it
 		}
-		lagging := maxSeq - m.seq.Load()
+		if e := m.epoch.Load(); e != 0 && e != maxEpoch {
+			// Stale incarnation: its cursor is meaningless against the new
+			// epoch's. Report the full gap and stand it down until its next
+			// probe shows it re-hydrated.
+			rt.lag.With(m.url).Set(float64(maxSeq))
+			rt.setHealthy(m, false)
+			continue
+		}
+		var lagging uint64
+		if s := m.seq.Load(); s < maxSeq {
+			lagging = maxSeq - s
+		}
 		rt.lag.With(m.url).Set(float64(lagging))
 		rt.setHealthy(m, lagging <= rt.cfg.LagLimit)
 	}
@@ -467,7 +508,8 @@ func (rt *Router) noteUpstreamFailure(res attemptResult) {
 // ---- HTTP surface ----
 
 // Handler returns the router's serving mux: POST /query and POST
-// /batch proxied to the replica set, GET /replicas for routing state,
+// /batch proxied to the replica set, POST /promote to flip a named
+// follower into the writer role, GET /replicas for routing state,
 // GET /healthz (200 while at least one replica is routable) and GET
 // /metrics.
 func (rt *Router) Handler() http.Handler {
@@ -478,6 +520,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
 		rt.proxy(w, r, "/batch")
 	})
+	mux.HandleFunc("POST /promote", rt.handlePromote)
 	mux.HandleFunc("GET /replicas", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
@@ -495,6 +538,67 @@ func (rt *Router) Handler() http.Handler {
 	})
 	mux.Handle("GET /metrics", rt.reg)
 	return mux
+}
+
+// handlePromote forwards a promotion to one named member: POST
+// {"replica": "<url>"} flips that follower into a writer (the member
+// must be in the routed set — the router refuses to promote arbitrary
+// URLs). On success the router re-probes the whole fleet immediately,
+// so the answer already reflects the new epoch's routing state instead
+// of waiting out a health interval during which the old epoch's
+// followers would still be routed.
+func (rt *Router) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Replica string `json:"replica"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad promote request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for len(req.Replica) > 0 && req.Replica[len(req.Replica)-1] == '/' {
+		req.Replica = req.Replica[:len(req.Replica)-1]
+	}
+	var target *member
+	for _, m := range rt.members {
+		if m.url == req.Replica {
+			target = m
+			break
+		}
+	}
+	if target == nil {
+		http.Error(w, fmt.Sprintf("replica %q is not a routed member", req.Replica), http.StatusNotFound)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, target.url+"/promote", nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := rt.cfg.Client.Do(preq)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("promote %s: %v", target.url, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("promote %s: %v", target.url, err), http.StatusBadGateway)
+		return
+	}
+	if resp.StatusCode == http.StatusOK {
+		// Force a fresh look at every member now that the epochs moved.
+		for _, m := range rt.members {
+			m.nextRaw.Store(0)
+		}
+		rt.HealthSweep(r.Context())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
 }
 
 // proxy routes one request and relays the winning replica's answer.

@@ -1,0 +1,131 @@
+package replica_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/replica"
+)
+
+func memberByURL(t *testing.T, rt *replica.Router, url string) replica.MemberStatus {
+	t.Helper()
+	for _, m := range rt.Members() {
+		if m.URL == url {
+			return m
+		}
+	}
+	t.Fatalf("no member %q in %+v", url, rt.Members())
+	return replica.MemberStatus{}
+}
+
+func postPromote(t *testing.T, rt *replica.Router, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"replica": target})
+	req := httptest.NewRequest(http.MethodPost, "/promote", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRouterEpochAwareness: after a promotion the fleet spans two
+// epochs; the router must demote members still on the old epoch and
+// measure lag within the new one, while an epoch-0 static replica is
+// judged by lag alone.
+func TestRouterEpochAwareness(t *testing.T) {
+	old := newFakeReplica(t, `{"ids":[1]}`)
+	promoted := newFakeReplica(t, `{"ids":[2]}`)
+	static := newFakeReplica(t, `{"ids":[3]}`)
+	old.seq.Store(500) // far ahead in the OLD epoch's numbering
+	promoted.epoch.Store(2)
+	promoted.role.Store("source")
+	promoted.seq.Store(10)
+	static.epoch.Store(0)
+	static.role.Store("static")
+	static.seq.Store(0)
+
+	rt, _ := newTestRouter(t, replica.RouterConfig{LagLimit: 100, HealthEvery: time.Millisecond}, old, promoted, static)
+	rt.HealthSweep(context.Background())
+
+	if m := memberByURL(t, rt, old.srv.URL); m.Healthy {
+		t.Fatalf("old-epoch member still healthy: %+v", m)
+	}
+	if m := memberByURL(t, rt, promoted.srv.URL); !m.Healthy || m.Epoch != 2 || m.Role != "source" {
+		t.Fatalf("promoted member not healthy at epoch 2: %+v", m)
+	}
+	// Static replica: epoch rule waived, lag rule still applies (lag 10
+	// against the new epoch's cursor, under the 100 limit).
+	if m := memberByURL(t, rt, static.srv.URL); !m.Healthy || m.Role != "static" {
+		t.Fatalf("static member demoted by the epoch rule: %+v", m)
+	}
+
+	// The old writer re-hydrates onto the new epoch: next sweep promotes
+	// it back (after its probe interval elapses).
+	old.epoch.Store(2)
+	old.seq.Store(10)
+	time.Sleep(5 * time.Millisecond)
+	rt.HealthSweep(context.Background())
+	if m := memberByURL(t, rt, old.srv.URL); !m.Healthy {
+		t.Fatalf("re-hydrated member not re-promoted: %+v", m)
+	}
+}
+
+func TestRouterPromoteForwards(t *testing.T) {
+	writer := newFakeReplica(t, `{"ids":[1]}`)
+	follower := newFakeReplica(t, `{"ids":[2]}`)
+	writer.role.Store("source")
+	writer.seq.Store(40)
+	follower.seq.Store(40)
+	follower.promoteTo.Store(7)
+
+	rt, _ := newTestRouter(t, replica.RouterConfig{LagLimit: 100}, writer, follower)
+	rt.HealthSweep(context.Background())
+
+	rec := postPromote(t, rt, follower.srv.URL)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]uint64
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp["epoch"] != 7 {
+		t.Fatalf("promote relayed body %q (err %v), want the target's epoch 7", rec.Body.String(), err)
+	}
+	// The success path swept synchronously: the answer's routing state
+	// already reflects the new epoch — no window where the old epoch's
+	// members are still routed.
+	if m := memberByURL(t, rt, follower.srv.URL); !m.Healthy || m.Role != "source" || m.Epoch != 7 {
+		t.Fatalf("promoted member after sweep: %+v", m)
+	}
+	if m := memberByURL(t, rt, writer.srv.URL); m.Healthy {
+		t.Fatalf("old writer (epoch 1) still routable after promotion: %+v", m)
+	}
+}
+
+func TestRouterPromoteErrors(t *testing.T) {
+	a := newFakeReplica(t, `{"ids":[1]}`)
+	b := newFakeReplica(t, `{"ids":[2]}`)
+	rt, _ := newTestRouter(t, replica.RouterConfig{}, a, b)
+
+	// Unknown member: refused locally, nothing forwarded.
+	rec := postPromote(t, rt, "http://nowhere.invalid:1")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("promote of a non-member: %d, want 404", rec.Code)
+	}
+
+	// Member refuses (e.g. already a writer): status relayed.
+	rec = postPromote(t, rt, a.srv.URL)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("refused promote: %d, want 409", rec.Code)
+	}
+
+	// Garbage body.
+	req := httptest.NewRequest(http.MethodPost, "/promote", strings.NewReader("{"))
+	rr := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("garbage promote body: %d, want 400", rr.Code)
+	}
+}

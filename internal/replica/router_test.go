@@ -22,16 +22,35 @@ type fakeReplica struct {
 	delay  atomic.Int64 // nanoseconds before answering /query
 	status atomic.Int64 // HTTP status for /query (default 200)
 	seq    atomic.Uint64
-	down   atomic.Bool // refuse /replica/status (health failure)
+	epoch  atomic.Uint64 // reported epoch (default 1)
+	role   atomic.Value  // reported role (default "follower")
+	down   atomic.Bool   // refuse /replica/status (health failure)
 	hits   atomic.Int64
 	body   string
+
+	// promoteTo scripts POST /promote: 0 refuses with 409, otherwise the
+	// replica flips to role "source" at this epoch.
+	promoteTo atomic.Uint64
 }
 
 func newFakeReplica(t *testing.T, body string) *fakeReplica {
 	t.Helper()
 	f := &fakeReplica{body: body}
 	f.status.Store(http.StatusOK)
+	f.epoch.Store(1)
+	f.role.Store("follower")
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		to := f.promoteTo.Load()
+		if to == 0 {
+			http.Error(w, "scripted refusal", http.StatusConflict)
+			return
+		}
+		f.role.Store("source")
+		f.epoch.Store(to)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]uint64{"epoch": to})
+	})
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		f.hits.Add(1)
 		if d := f.delay.Load(); d > 0 {
@@ -54,8 +73,9 @@ func newFakeReplica(t *testing.T, body string) *fakeReplica {
 			http.Error(w, "scripted outage", http.StatusInternalServerError)
 			return
 		}
+		role, _ := f.role.Load().(string)
 		json.NewEncoder(w).Encode(replica.StatusResponse{
-			Format: "hybridlsh-delta/v1", Role: "follower", Epoch: 1, Seq: f.seq.Load(),
+			Format: "hybridlsh-delta/v1", Role: role, Epoch: f.epoch.Load(), Seq: f.seq.Load(),
 		})
 	})
 	f.srv = httptest.NewServer(mux)

@@ -179,6 +179,30 @@ type Journal[P any] interface {
 	JournalCompact(shard int, removed []int32)
 }
 
+// JournalSyncer is an optional extension of Journal: a journal whose
+// sink buffers (a write-ahead log, a file) implements it so callers
+// can force recorded mutations to stable storage at a barrier — e.g.
+// before a snapshot claims the journaled prefix is covered.
+type JournalSyncer interface {
+	// SyncJournal flushes every mutation journaled so far to the
+	// journal's durable sink.
+	SyncJournal() error
+}
+
+// SyncJournal flushes the installed journal if it implements
+// JournalSyncer; a nil or non-durable journal is a successful no-op.
+// Taking appendMu orders the flush after every committed append's
+// journal call.
+func (s *Sharded[P]) SyncJournal() error {
+	s.appendMu.Lock()
+	j := s.journal
+	s.appendMu.Unlock()
+	if js, ok := j.(JournalSyncer); ok {
+		return js.SyncJournal()
+	}
+	return nil
+}
+
 // SetJournal installs the mutation journal. It must be called before
 // any Append/Delete/Compact traffic (there is no synchronization with
 // in-flight mutations); pass nil to detach. Replay methods
